@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5, Figures 5-16). For each figure it prints the data table
+// the paper plots and writes a CSV under -out.
+//
+// A full reproduction at the paper's 100000-second horizon takes a few
+// minutes on one core:
+//
+//	experiments -out results
+//
+// A quick pass for smoke-testing the shapes:
+//
+//	experiments -quick -out results-quick
+//
+// Single figures:
+//
+//	experiments -figure fig15 -seeds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mobicache/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	out := fs.String("out", "results", "directory for CSV output")
+	quick := fs.Bool("quick", false, "20000-second horizon instead of the paper's 100000")
+	simTime := fs.Float64("simtime", 0, "explicit horizon override in seconds")
+	figure := fs.String("figure", "", "run a single figure (fig5..fig16 or an extension id); empty runs all paper figures")
+	extensions := fs.Bool("extensions", false, "also run the ablation/extension experiments")
+	seeds := fs.Int("seeds", 1, "replication seeds per point (averaged)")
+	plot := fs.Bool("plot", false, "render each figure as an ASCII chart as well")
+	verbose := fs.Bool("v", false, "print per-run progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := exp.Options{}
+	if *quick {
+		opts.SimTime = 20000
+	}
+	if *simTime > 0 {
+		opts.SimTime = *simTime
+	}
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(s))
+	}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	figures := exp.Figures
+	if *extensions {
+		figures = append(append([]exp.Figure{}, figures...), exp.Extensions...)
+	}
+	if *figure != "" {
+		f, err := exp.FigureByID(*figure)
+		if err != nil {
+			if f, err = exp.ExtensionByID(*figure); err != nil {
+				return err
+			}
+		}
+		figures = []exp.Figure{f}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	runner := exp.NewRunner(opts)
+	start := time.Now()
+	for _, f := range figures {
+		figStart := time.Now()
+		table, err := runner.RunFigure(f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(table.Render())
+		if *plot {
+			fmt.Println(table.Plot(64, 18))
+		}
+		path := filepath.Join(*out, f.ID+".csv")
+		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s)\n\n", path, time.Since(figStart).Round(time.Millisecond))
+	}
+	fmt.Printf("all done in %s; CSVs in %s%c\n", time.Since(start).Round(time.Second), *out, filepath.Separator)
+	if !*quick && *simTime == 0 {
+		fmt.Println(strings.TrimSpace(`
+Horizon: the paper's full 100000 simulated seconds. Use -quick for a
+faster pass when iterating.`))
+	}
+	return nil
+}

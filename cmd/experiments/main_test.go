@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-figure", "fig7", "-simtime", "1500", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	if !strings.HasPrefix(csv, "x,aaw,afw,ts-check,bs\n") {
+		t.Fatalf("csv header: %q", csv[:40])
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 9 { // header + 8 points
+		t.Fatalf("csv rows:\n%s", csv)
+	}
+}
+
+func TestRunExtensionFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-figure", "ext-period-thr", "-simtime", "1500", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ext-period-thr.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-figure", "fig99"}); err == nil {
+		t.Fatal("bogus figure accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Command mobisim runs one mobile cache-invalidation simulation and
+// prints a result summary. Every Table 1 parameter of the paper is a
+// flag; the defaults reproduce the paper's base configuration.
+//
+// Examples:
+//
+//	mobisim -scheme aaw
+//	mobisim -scheme bs -db 80000 -simtime 100000
+//	mobisim -scheme ts-check -workload hotcold -uplink 200 -check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mobicache/internal/core"
+	"mobicache/internal/engine"
+	"mobicache/internal/trace"
+	"mobicache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("mobisim", flag.ContinueOnError)
+	def := engine.Default()
+
+	scheme := fs.String("scheme", def.Scheme,
+		"invalidation scheme: "+strings.Join(sortedNames(), ", "))
+	wl := fs.String("workload", "uniform", "workload: uniform, hotcold, or zipf:<theta>")
+	clients := fs.Int("clients", def.Clients, "number of mobile clients")
+	dbSize := fs.Int("db", def.DBSize, "database size in items")
+	itemBits := fs.Float64("itembits", def.ItemBits, "data item size in bits")
+	bufferPct := fs.Float64("buffer", def.BufferPct, "client buffer as a fraction of the database")
+	period := fs.Float64("period", def.Period, "broadcast period L in seconds")
+	window := fs.Int("window", def.WindowIntervals, "invalidation window w in intervals")
+	downlink := fs.Float64("downlink", def.DownlinkBps, "downlink bandwidth in bits/s")
+	uplink := fs.Float64("uplink", def.UplinkBps, "uplink bandwidth in bits/s")
+	think := fs.Float64("think", def.MeanThink, "mean think time in seconds")
+	update := fs.Float64("update", def.MeanUpdate, "mean update interarrival in seconds")
+	disc := fs.Float64("disc", def.MeanDisc, "mean disconnection time in seconds")
+	probDisc := fs.Float64("probdisc", def.ProbDisc, "disconnection probability")
+	perInterval := fs.Bool("disc-per-interval", false, "apply -probdisc at every broadcast boundary instead of per query gap")
+	simTime := fs.Float64("simtime", def.SimTime, "simulated horizon in seconds")
+	seed := fs.Uint64("seed", def.Seed, "random seed")
+	check := fs.Bool("check", false, "enable the stale-read consistency checker")
+	traceN := fs.Int("trace", 0, "print the last N protocol events of the run")
+	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
+	verbose := fs.Bool("v", false, "print the full metric breakdown")
+
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c := def
+	c.Scheme = *scheme
+	c.Clients = *clients
+	c.DBSize = *dbSize
+	c.ItemBits = *itemBits
+	c.BufferPct = *bufferPct
+	c.Period = *period
+	c.WindowIntervals = *window
+	c.DownlinkBps = *downlink
+	c.UplinkBps = *uplink
+	c.MeanThink = *think
+	c.MeanUpdate = *update
+	c.MeanDisc = *disc
+	c.ProbDisc = *probDisc
+	c.DiscPerInterval = *perInterval
+	c.SimTime = *simTime
+	c.Seed = *seed
+	c.ConsistencyCheck = *check
+
+	switch {
+	case *wl == "uniform":
+		c.Workload = workload.Uniform(c.DBSize)
+	case *wl == "hotcold":
+		c.Workload = workload.HotCold(c.DBSize)
+	case strings.HasPrefix(*wl, "zipf:"):
+		var theta float64
+		if _, err := fmt.Sscanf(*wl, "zipf:%g", &theta); err != nil {
+			return fmt.Errorf("bad zipf workload %q: %v", *wl, err)
+		}
+		c.Workload = workload.Zipf(c.DBSize, theta)
+	default:
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+
+	var tr *trace.Tracer
+	if *traceN > 0 {
+		tr = trace.New(*traceN)
+		c.Trace = tr
+	}
+
+	r, err := engine.Run(c)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := writeJSON(out, r); err != nil {
+			return err
+		}
+	} else {
+		printResults(out, r, *verbose)
+	}
+	if tr != nil {
+		fmt.Fprintf(out, "--- last %d of %d protocol events ---\n", len(tr.Events()), tr.Total())
+		if err := tr.WriteText(out); err != nil {
+			return err
+		}
+	}
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("%d consistency violations; first: %v",
+			r.ConsistencyViolations, r.FirstViolation)
+	}
+	return nil
+}
+
+// jsonResults is the flat, marshalable view of a run (Config holds
+// function-valued workload fields, so Results itself is not marshaled).
+type jsonResults struct {
+	Scheme                string           `json:"scheme"`
+	Workload              string           `json:"workload"`
+	DBSize                int              `json:"db_size"`
+	Clients               int              `json:"clients"`
+	SimTime               float64          `json:"sim_time"`
+	Seed                  uint64           `json:"seed"`
+	QueriesAnswered       int64            `json:"queries_answered"`
+	UplinkBitsPerQuery    float64          `json:"uplink_bits_per_query"`
+	HitRatio              float64          `json:"hit_ratio"`
+	MeanResponse          float64          `json:"mean_response_s"`
+	RespP50               float64          `json:"resp_p50_s"`
+	RespP95               float64          `json:"resp_p95_s"`
+	RespP99               float64          `json:"resp_p99_s"`
+	Drops                 int64            `json:"cache_drops"`
+	Salvages              int64            `json:"cache_salvages"`
+	ReportsSent           map[string]int64 `json:"reports_sent"`
+	DownUtilization       float64          `json:"down_utilization"`
+	UpUtilization         float64          `json:"up_utilization"`
+	IROverruns            int64            `json:"ir_overruns"`
+	ReportsLost           int64            `json:"reports_lost"`
+	ConsistencyViolations int64            `json:"consistency_violations"`
+}
+
+func writeJSON(out *os.File, r *engine.Results) error {
+	v := jsonResults{
+		Scheme:                r.Config.Scheme,
+		Workload:              r.Config.Workload.Name,
+		DBSize:                r.Config.DBSize,
+		Clients:               r.Config.Clients,
+		SimTime:               r.Config.SimTime,
+		Seed:                  r.Config.Seed,
+		QueriesAnswered:       r.QueriesAnswered,
+		UplinkBitsPerQuery:    r.UplinkBitsPerQuery,
+		HitRatio:              r.HitRatio,
+		MeanResponse:          r.MeanResponse,
+		RespP50:               r.RespP50,
+		RespP95:               r.RespP95,
+		RespP99:               r.RespP99,
+		Drops:                 r.Drops,
+		Salvages:              r.Salvages,
+		ReportsSent:           r.ReportsSent,
+		DownUtilization:       r.DownUtilization,
+		UpUtilization:         r.UpUtilization,
+		IROverruns:            r.IROverruns,
+		ReportsLost:           r.ReportsLost,
+		ConsistencyViolations: r.ConsistencyViolations,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func sortedNames() []string {
+	names := core.Names()
+	sort.Strings(names)
+	return names
+}
+
+func printResults(out *os.File, r *engine.Results, verbose bool) {
+	c := r.Config
+	fmt.Fprintf(out, "scheme=%s workload=%s db=%d clients=%d simtime=%g seed=%d\n",
+		c.Scheme, c.Workload.Name, c.DBSize, c.Clients, c.SimTime, c.Seed)
+	fmt.Fprintf(out, "queries answered:        %d\n", r.QueriesAnswered)
+	fmt.Fprintf(out, "uplink cost per query:   %.2f bits\n", r.UplinkBitsPerQuery)
+	fmt.Fprintf(out, "cache hit ratio:         %.4f\n", r.HitRatio)
+	fmt.Fprintf(out, "mean response time:      %.1f s\n", r.MeanResponse)
+	fmt.Fprintf(out, "cache drops / salvages:  %d / %d\n", r.Drops, r.Salvages)
+	fmt.Fprintf(out, "reports sent:            %s\n", reportMix(r))
+	if verbose {
+		fmt.Fprintf(out, "downlink utilization:    %.4f\n", r.DownUtilization)
+		fmt.Fprintf(out, "uplink utilization:      %.4f\n", r.UpUtilization)
+		fmt.Fprintf(out, "downlink bits (IR/ctl/data): %.0f / %.0f / %.0f\n",
+			r.DownReportBits, r.DownControlBits, r.DownDataBits)
+		fmt.Fprintf(out, "uplink bits (ctl/data):  %.0f / %.0f\n", r.UpControlBits, r.UpDataBits)
+		fmt.Fprintf(out, "validation uplink msgs:  %d\n", r.ValidationUplinkMsgs)
+		fmt.Fprintf(out, "items cache / fetched:   %d / %d\n", r.ItemsFromCache, r.ItemsFetched)
+		fmt.Fprintf(out, "disconnections:          %d (mean %.0f s)\n", r.Disconnections, r.MeanDisconnectedFor)
+		fmt.Fprintf(out, "max response time:       %.1f s\n", r.MaxResponse)
+		fmt.Fprintf(out, "report overruns:         %d\n", r.IROverruns)
+		fmt.Fprintf(out, "simulated events:        %d\n", r.Events)
+		if r.Config.ConsistencyCheck {
+			fmt.Fprintf(out, "consistency violations:  %d\n", r.ConsistencyViolations)
+		}
+	}
+}
+
+func reportMix(r *engine.Results) string {
+	kinds := make([]string, 0, len(r.ReportsSent))
+	for k := range r.ReportsSent {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, r.ReportsSent[k]))
+	}
+	return strings.Join(parts, " ")
+}

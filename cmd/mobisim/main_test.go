@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunBasic(t *testing.T) {
+	out, err := runCapture(t, "-scheme", "aaw", "-simtime", "2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"queries answered:", "uplink cost per query:", "scheme=aaw"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerboseAndCheck(t *testing.T) {
+	out, err := runCapture(t, "-scheme", "ts-check", "-simtime", "2000", "-check", "-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"downlink utilization:", "consistency violations:  0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	for _, wl := range []string{"uniform", "hotcold", "zipf:0.9"} {
+		if _, err := runCapture(t, "-workload", wl, "-simtime", "1000"); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out, err := runCapture(t, "-simtime", "1000", "-trace", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "protocol events") {
+		t.Fatalf("no trace section:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scheme", "bogus", "-simtime", "1000"},
+		{"-workload", "bogus", "-simtime", "1000"},
+		{"-workload", "zipf:x", "-simtime", "1000"},
+		{"-db", "1", "-simtime", "1000"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := sortedNames()
+	if len(names) != 7 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("unsorted: %v", names)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := runCapture(t, "-simtime", "1000", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"queries_answered"`, `"scheme": "aaw"`, `"hit_ratio"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Asymmetric: the paper's asymmetric-communication study (§5, Figures
+// 15-16). Real wireless uplinks are a small fraction of the downlink, and
+// uplink transmission burns far more client battery than reception. This
+// example sweeps the uplink bandwidth from 10% down to 1% of the downlink
+// and shows where the checking scheme's bulky validity uploads start to
+// hurt, while the adaptive methods' single-timestamp feedback keeps them
+// unaffected.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobicache"
+)
+
+func main() {
+	uplinks := []float64{1000, 500, 200, 100}
+	schemes := []string{"aaw", "afw", "ts-check", "bs"}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "uplink b/s\tscheme\tqueries\tuplink util\tvalidation b/q")
+
+	for _, bw := range uplinks {
+		for _, scheme := range schemes {
+			cfg := mobicache.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.UplinkBps = bw
+			cfg.SimTime = 30000
+
+			res, err := mobicache.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%.0f\t%s\t%d\t%.3f\t%.1f\n",
+				bw, scheme, res.QueriesAnswered, res.UpUtilization, res.UplinkBitsPerQuery)
+		}
+		fmt.Fprintln(w, "\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Println("With a starved uplink every fetch request queues for minutes; the")
+	fmt.Println("checking scheme additionally ships its whole cached-id list uplink on")
+	fmt.Println("every reconnection, so it falls behind the adaptive methods first —")
+	fmt.Println("the crossover the paper reports below ~200 bits/second.")
+}

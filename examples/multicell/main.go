@@ -1,0 +1,50 @@
+// Multicell: the paper's §2 environment at full width — several cells,
+// each with its own mobile support station and channels over a replicated
+// database, with hosts waking up in new cells after powering down. A
+// handoff confronts the invalidation schemes with a Tlb earned in another
+// cell; this example shows that the adaptive methods keep salvaging
+// caches across cell boundaries while capacity scales with the number of
+// downlinks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobicache"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tqueries\thandoffs\tsalvages\tdrops\thit ratio")
+	for _, scheme := range []string{"aaw", "afw", "ts-check", "bs"} {
+		cfg := mobicache.DefaultMulticellConfig()
+		cfg.Base.Scheme = scheme
+		cfg.Base.SimTime = 20000
+		cfg.Base.MeanDisc = 1000 // sleeps reach well past the window
+		cfg.Base.ProbDisc = 0.3
+		cfg.Base.ConsistencyCheck = true
+		cfg.Cells = 4
+		cfg.MoveProb = 0.5 // half of all wake-ups happen in a new cell
+
+		res, err := mobicache.RunMulticell(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.ConsistencyViolations != 0 {
+			log.Fatalf("%s served stale data after a handoff: %v",
+				scheme, res.FirstViolation)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.3f\n",
+			scheme, res.QueriesAnswered, res.Handoffs, res.Salvages,
+			res.Drops, res.HitRatio)
+	}
+	w.Flush()
+	fmt.Println()
+	fmt.Println("A handoff looks like a long disconnection whose Tlb was earned under")
+	fmt.Println("another station. Replicated databases and a shared broadcast schedule")
+	fmt.Println("keep timestamps globally valid, so every scheme's reconnection")
+	fmt.Println("machinery carries over — and the adaptives still salvage, not drop.")
+}

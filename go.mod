@@ -1,0 +1,3 @@
+module mobicache
+
+go 1.22

@@ -1,0 +1,195 @@
+package bitio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBool(true)
+	w.WriteFloat(3.25)
+	if w.Len() != 3+8+5+1+64 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("first field = %b", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Fatalf("second field = %x", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Fatalf("third field = %v", v)
+	}
+	if b, _ := r.ReadBool(); !b {
+		t.Fatal("bool = false")
+	}
+	if f, _ := r.ReadFloat(); f != 3.25 {
+		t.Fatalf("float = %v", f)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestBitPackingDensity(t *testing.T) {
+	w := NewWriter()
+	for i := 0; i < 100; i++ {
+		w.WriteBits(uint64(i), 7)
+	}
+	if w.Len() != 700 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if len(w.Bytes()) != (700+7)/8 {
+		t.Fatalf("bytes = %d", len(w.Bytes()))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i := 0; i < 100; i++ {
+		v, err := r.ReadBits(7)
+		if err != nil || v != uint64(i) {
+			t.Fatalf("field %d = %d, err %v", i, v, err)
+		}
+	}
+}
+
+// Property: any sequence of (value, width) fields round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewWriter()
+		want := make([]uint64, n)
+		ws := make([]int, n)
+		for i := 0; i < n; i++ {
+			width := int(widths[i])%64 + 1
+			ws[i] = width
+			want[i] = vals[i] & ((1 << width) - 1)
+			if width == 64 {
+				want[i] = vals[i]
+			}
+			w.WriteBits(vals[i], width)
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := 0; i < n; i++ {
+			v, err := r.ReadBits(ws[i])
+			if err != nil || v != want[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidth64Masking(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(math.MaxUint64, 64)
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(64); v != math.MaxUint64 {
+		t.Fatalf("64-bit field = %x", v)
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(99, 0)
+	if w.Len() != 0 {
+		t.Fatal("zero-width write changed length")
+	}
+	r := NewReader(nil, 0)
+	if v, err := r.ReadBits(0); err != nil || v != 0 {
+		t.Fatalf("zero-width read = %v, %v", v, err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(5, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(4); err != ErrShortBuffer {
+		t.Fatalf("err = %v", err)
+	}
+	// After a failed read the cursor is unchanged.
+	if v, err := r.ReadBits(3); err != nil || v != 5 {
+		t.Fatalf("recovery read = %v, %v", v, err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1023, 10)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.WriteBits(3, 2)
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(2); v != 3 {
+		t.Fatalf("after reset: %v", v)
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWriter().WriteBits(0, 65)
+}
+
+func TestReaderNbitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewReader([]byte{0}, 9)
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, math.Pi, 1e300, math.Inf(1), math.SmallestNonzeroFloat64} {
+		w := NewWriter()
+		w.WriteBits(1, 1) // misalign on purpose
+		w.WriteFloat(f)
+		r := NewReader(w.Bytes(), w.Len())
+		r.ReadBits(1)
+		got, err := r.ReadFloat()
+		if err != nil || got != f {
+			t.Fatalf("float %v -> %v (err %v)", f, got, err)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1000, 10}, {1024, 10}, {1025, 11}, {10000, 14}, {80000, 17},
+	}
+	for _, c := range cases {
+		if got := BitsFor(c.n); got != c.want {
+			t.Fatalf("BitsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Property: BitsFor(n) is the minimal width that can encode n-1.
+func TestBitsForProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw) + 2
+		b := BitsFor(n)
+		return (1<<b) >= n && (b == 1 || (1<<(b-1)) < n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package bitseq implements the hierarchical bit-sequences invalidation
+// structure of Jing et al. (paper §2.3), used both by the BS baseline and
+// as the fallback report of the adaptive AFW/AAW schemes.
+//
+// The structure is a stack of bit sequences B_n ... B_1 plus a dummy
+// timestamp TS(B_0):
+//
+//   - B_n has one bit per database item; its "1" bits mark the (at most
+//     N/2) most recently updated items, all updated after TS(B_n).
+//   - Each lower sequence B_k has one bit per "1" bit of B_{k+1}; its own
+//     "1" bits mark the (at most) half of those items updated after
+//     TS(B_k).
+//   - TS(B_0) is the most recent update time: nothing changed after it.
+//
+// A client that last heard a report at time Tlb picks the deepest
+// (smallest) sequence whose timestamp is <= Tlb and invalidates exactly
+// the items marked in it. That set always contains every item updated
+// after Tlb (soundness: clients never keep a truly stale item) and the
+// halving structure bounds over-invalidation, which is what lets BS
+// salvage caches after arbitrarily long disconnections without a fixed
+// history window.
+package bitseq
+
+import (
+	"sort"
+
+	"mobicache/internal/bitio"
+)
+
+// Sequence is one level of the structure.
+type Sequence struct {
+	// TS is the level timestamp: every marked item was updated after TS.
+	TS float64
+	// Bits holds Len bits, packed little-endian in uint64 words.
+	Bits []uint64
+	// Len is the number of valid bits.
+	Len int
+	// Ones is the number of set bits.
+	Ones int
+}
+
+func (s *Sequence) get(i int) bool { return s.Bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (s *Sequence) set(i int) {
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if s.Bits[w]&mask == 0 {
+		s.Bits[w] |= mask
+		s.Ones++
+	}
+}
+
+// Get reports bit i of the sequence (exported for tests and tools).
+func (s *Sequence) Get(i int) bool { return s.get(i) }
+
+// Structure is a complete bit-sequences report payload.
+type Structure struct {
+	// N is the database size (bits in the top sequence).
+	N int
+	// Seqs holds the levels from B_n (index 0, N bits) down to the
+	// smallest level with at least 2 bits.
+	Seqs []Sequence
+	// TS0 is the dummy B_0 timestamp: the most recent update time, or
+	// negative if the database was never updated.
+	TS0 float64
+}
+
+// Levels reports the number of bit sequences (excluding the dummy B_0).
+func (s *Structure) Levels() int { return len(s.Seqs) }
+
+// Epoch is the timestamp meaning "before every update". Simulated time is
+// non-negative, so -1 sorts before all real update times.
+const Epoch = -1.0
+
+// UpdateSource abstracts the server database view the builder needs:
+// distinct items in most-recent-update-first order.
+type UpdateSource interface {
+	// MostRecent visits up to max ever-updated items, most recent first.
+	MostRecent(max int, fn func(id int32, ts float64) bool)
+	// NewestUpdateTime reports the most recent update time, or negative
+	// if nothing was ever updated.
+	NewestUpdateTime() float64
+}
+
+type rec struct {
+	id int32
+	ts float64
+}
+
+// Build constructs the structure for an n-item database (n >= 2) from src.
+func Build(n int, src UpdateSource) *Structure {
+	if n < 2 {
+		panic("bitseq: database too small")
+	}
+	st := &Structure{N: n}
+	if t := src.NewestUpdateTime(); t >= 0 {
+		st.TS0 = t
+	} else {
+		st.TS0 = Epoch
+	}
+
+	// Collect one item beyond the top level's mark capacity: the extra
+	// item's update time is TS(B_n) when the level is full.
+	capTop := n / 2
+	items := make([]rec, 0, capTop+1)
+	src.MostRecent(capTop+1, func(id int32, ts float64) bool {
+		items = append(items, rec{id, ts})
+		return true
+	})
+	avail := len(items)
+	if avail > capTop {
+		avail = capTop // items[capTop], if present, exists only for TS(B_n)
+	}
+
+	// Level sizes: n, n/2, ..., down to 2. Level l marks the
+	// min(size/2, avail) most recent items; the marked sets are nested.
+	sizes := []int{n}
+	for sz := n / 2; sz >= 2; sz /= 2 {
+		sizes = append(sizes, sz)
+	}
+	st.Seqs = make([]Sequence, len(sizes))
+	marks := make([]int, len(sizes))
+	for l, size := range sizes {
+		st.Seqs[l].Len = size
+		st.Seqs[l].Bits = make([]uint64, (size+63)/64)
+		m := size / 2
+		if m > avail {
+			m = avail
+		}
+		marks[l] = m
+		// TS(B_l): the update time of the (m+1)-th most recent item, or
+		// the epoch when every ever-updated item is marked.
+		if m < len(items) {
+			st.Seqs[l].TS = items[m].ts
+		} else {
+			st.Seqs[l].TS = Epoch
+		}
+	}
+
+	// Assign bits in id order. An item of recency rank r is marked at
+	// level l iff r < marks[l]; nested marks mean each item is marked on
+	// a prefix of levels. Its bit position at level 0 is its id; at level
+	// l+1 it is its rank (in id order) among items marked at level l.
+	ranks := make([]int, 0, avail) // recency ranks, sorted by item id
+	for r := 0; r < avail; r++ {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return items[ranks[i]].id < items[ranks[j]].id })
+
+	counters := make([]int, len(sizes))
+	for _, r := range ranks {
+		pos := int(items[r].id)
+		for l := 0; l < len(sizes) && r < marks[l]; l++ {
+			st.Seqs[l].set(pos)
+			pos = counters[l]
+			counters[l]++
+		}
+	}
+	return st
+}
+
+// Action tells a client what a Locate decision means.
+type Action int
+
+const (
+	// AllValid: nothing was updated after the client's Tlb.
+	AllValid Action = iota
+	// DropAll: the structure cannot bound the updates since Tlb; the
+	// entire cache must be discarded.
+	DropAll
+	// InvalidateSet: discard exactly the located items.
+	InvalidateSet
+)
+
+// String names the action for traces.
+func (a Action) String() string {
+	switch a {
+	case AllValid:
+		return "all-valid"
+	case DropAll:
+		return "drop-all"
+	case InvalidateSet:
+		return "invalidate-set"
+	default:
+		return "action(?)"
+	}
+}
+
+// Locate implements the client-side BS algorithm (paper Figure 2): given
+// the client's last-report timestamp tlb, it returns the action and, for
+// InvalidateSet, dst extended with the ids to invalidate.
+func (s *Structure) Locate(tlb float64, dst []int32) (Action, []int32) {
+	if s.TS0 <= tlb {
+		return AllValid, dst
+	}
+	if len(s.Seqs) == 0 || tlb < s.Seqs[0].TS {
+		return DropAll, dst
+	}
+	// Deepest level with TS <= tlb; timestamps are non-decreasing with
+	// depth, so scan forward.
+	level := 0
+	for level+1 < len(s.Seqs) && s.Seqs[level+1].TS <= tlb {
+		level++
+	}
+	return InvalidateSet, s.IDsAtLevel(level, dst)
+}
+
+// IDsAtLevel appends the item ids marked at level li (0 = the top, N-bit
+// sequence) to dst, in ascending id order.
+func (s *Structure) IDsAtLevel(li int, dst []int32) []int32 {
+	top := &s.Seqs[0]
+	counters := make([]int, li+1)
+	for id := 0; id < top.Len; id++ {
+		if !top.get(id) {
+			continue
+		}
+		// The item's position at level l+1 is its rank among level-l
+		// marked items; walk down while it stays marked.
+		marked := true
+		pos := counters[0]
+		counters[0]++
+		for l := 1; l <= li; l++ {
+			if !s.Seqs[l].get(pos) {
+				marked = false
+				break
+			}
+			next := counters[l]
+			counters[l]++
+			pos = next
+		}
+		if marked {
+			dst = append(dst, int32(id))
+		}
+	}
+	return dst
+}
+
+// SizeBits reports the analytic report size in bits: the sum of all
+// sequence lengths plus one timestamp per sequence including the dummy
+// B_0, matching the paper's 2N + bT*log2(N) formula.
+func (s *Structure) SizeBits(tsBits int) int {
+	total := tsBits // TS(B0)
+	for i := range s.Seqs {
+		total += s.Seqs[i].Len + tsBits
+	}
+	return total
+}
+
+// Encode serializes the structure with bit-exact field widths. The wire
+// layout is TS0, then each level's timestamp followed by its raw bits.
+// N and the level count are implicit: every client knows the database
+// size.
+func (s *Structure) Encode(w *bitio.Writer) {
+	w.WriteFloat(s.TS0)
+	for i := range s.Seqs {
+		seq := &s.Seqs[i]
+		w.WriteFloat(seq.TS)
+		for b := 0; b < seq.Len; b++ {
+			w.WriteBool(seq.get(b))
+		}
+	}
+}
+
+// Decode reconstructs a structure for an n-item database from r.
+func Decode(n int, r *bitio.Reader) (*Structure, error) {
+	st := &Structure{N: n}
+	ts0, err := r.ReadFloat()
+	if err != nil {
+		return nil, err
+	}
+	st.TS0 = ts0
+	for size := n; size >= 2; size /= 2 {
+		var seq Sequence
+		if seq.TS, err = r.ReadFloat(); err != nil {
+			return nil, err
+		}
+		seq.Len = size
+		seq.Bits = make([]uint64, (size+63)/64)
+		for b := 0; b < size; b++ {
+			bit, err := r.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			if bit {
+				seq.set(b)
+			}
+		}
+		st.Seqs = append(st.Seqs, seq)
+	}
+	return st, nil
+}

@@ -1,0 +1,229 @@
+// Package cache implements the mobile client's buffer pool: a fixed
+// capacity LRU cache of data items (paper §4: "Cached data items are
+// managed using an LRU replacement policy"). Each entry carries the
+// timestamp of the version it holds, which the timestamp-based
+// invalidation algorithms compare against report entries.
+package cache
+
+// Entry is one cached item.
+type Entry struct {
+	ID int32
+	// TS is the validity timestamp of the cached copy: the item's
+	// last-update time when it was fetched, advanced to the report time
+	// each time a report confirms the copy (Figure 1's "tc <- Ti").
+	TS float64
+	// Version identifies the cached copy for the simulator's consistency
+	// checker; it plays no role in the protocols themselves.
+	Version int32
+
+	prev, next int32 // intrusive LRU list over slot indexes
+}
+
+const nilSlot = int32(-1)
+
+// Cache is a fixed-capacity LRU cache keyed by item id.
+// The zero value is unusable; call New.
+type Cache struct {
+	cap   int
+	slots []Entry
+	index map[int32]int32 // item id -> slot
+	free  []int32
+	head  int32 // most recently used
+	tail  int32 // least recently used
+
+	hits, misses  int64
+	evictions     int64
+	invalidations int64
+	drops         int64
+}
+
+// New creates a cache holding at most capacity items (capacity >= 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		panic("cache: capacity must be at least 1")
+	}
+	c := &Cache{
+		cap:   capacity,
+		slots: make([]Entry, capacity),
+		index: make(map[int32]int32, capacity),
+		free:  make([]int32, 0, capacity),
+		head:  nilSlot,
+		tail:  nilSlot,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// Cap reports the cache capacity in items.
+func (c *Cache) Cap() int { return c.cap }
+
+// Len reports the number of cached items.
+func (c *Cache) Len() int { return len(c.index) }
+
+// Hits and Misses report Lookup outcomes; Evictions counts LRU
+// replacements, Invalidations counts Invalidate removals, Drops counts
+// DropAll calls.
+func (c *Cache) Hits() int64          { return c.hits }
+func (c *Cache) Misses() int64        { return c.misses }
+func (c *Cache) Evictions() int64     { return c.evictions }
+func (c *Cache) Invalidations() int64 { return c.invalidations }
+func (c *Cache) Drops() int64         { return c.drops }
+
+func (c *Cache) unlink(s int32) {
+	e := &c.slots[s]
+	if e.prev != nilSlot {
+		c.slots[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nilSlot {
+		c.slots[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nilSlot, nilSlot
+}
+
+func (c *Cache) pushFront(s int32) {
+	e := &c.slots[s]
+	e.prev = nilSlot
+	e.next = c.head
+	if c.head != nilSlot {
+		c.slots[c.head].prev = s
+	}
+	c.head = s
+	if c.tail == nilSlot {
+		c.tail = s
+	}
+}
+
+// Lookup finds id, promoting it to most recently used on a hit, and
+// records the hit or miss.
+func (c *Cache) Lookup(id int32) (Entry, bool) {
+	s, ok := c.index[id]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.unlink(s)
+	c.pushFront(s)
+	return c.slots[s], true
+}
+
+// Peek finds id without promoting it or recording statistics.
+func (c *Cache) Peek(id int32) (Entry, bool) {
+	s, ok := c.index[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return c.slots[s], true
+}
+
+// Put inserts or refreshes id with the given validity timestamp and
+// version, making it most recently used and evicting the LRU entry when
+// the cache is full.
+func (c *Cache) Put(id int32, ts float64, version int32) {
+	if s, ok := c.index[id]; ok {
+		c.slots[s].TS = ts
+		c.slots[s].Version = version
+		c.unlink(s)
+		c.pushFront(s)
+		return
+	}
+	var s int32
+	if len(c.free) > 0 {
+		s = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		s = c.tail
+		delete(c.index, c.slots[s].ID)
+		c.unlink(s)
+		c.evictions++
+	}
+	c.slots[s] = Entry{ID: id, TS: ts, Version: version, prev: nilSlot, next: nilSlot}
+	c.index[id] = s
+	c.pushFront(s)
+}
+
+// Touch updates the validity timestamp of id if cached (a report
+// confirmed the copy), without changing recency.
+func (c *Cache) Touch(id int32, ts float64) {
+	if s, ok := c.index[id]; ok {
+		c.slots[s].TS = ts
+	}
+}
+
+// TouchAll advances the validity timestamp of every entry. The TS
+// algorithm does this when a report confirms the whole cache.
+func (c *Cache) TouchAll(ts float64) {
+	for s := c.head; s != nilSlot; s = c.slots[s].next {
+		c.slots[s].TS = ts
+	}
+}
+
+// Invalidate removes id if cached, reporting whether it was present.
+func (c *Cache) Invalidate(id int32) bool {
+	s, ok := c.index[id]
+	if !ok {
+		return false
+	}
+	c.unlink(s)
+	delete(c.index, id)
+	c.free = append(c.free, s)
+	c.invalidations++
+	return true
+}
+
+// DropAll empties the cache (the client could not prove validity and must
+// discard everything).
+func (c *Cache) DropAll() {
+	if len(c.index) == 0 {
+		c.drops++
+		return
+	}
+	for id := range c.index {
+		delete(c.index, id)
+	}
+	c.free = c.free[:0]
+	for i := c.cap - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	c.head, c.tail = nilSlot, nilSlot
+	c.drops++
+}
+
+// Each visits entries from most to least recently used, stopping early if
+// fn returns false.
+func (c *Cache) Each(fn func(e Entry) bool) {
+	for s := c.head; s != nilSlot; s = c.slots[s].next {
+		if !fn(c.slots[s]) {
+			return
+		}
+	}
+}
+
+// IDs appends all cached item ids, MRU first, to dst.
+func (c *Cache) IDs(dst []int32) []int32 {
+	for s := c.head; s != nilSlot; s = c.slots[s].next {
+		dst = append(dst, c.slots[s].ID)
+	}
+	return dst
+}
+
+// ResetStats zeroes the hit/miss/eviction counters (measurement warmup);
+// cache contents are untouched.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.evictions, c.invalidations, c.drops = 0, 0, 0, 0, 0
+}
+
+// HitRatio reports hits / (hits + misses), or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

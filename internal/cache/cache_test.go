@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobicache/internal/rng"
+)
+
+func TestPutLookup(t *testing.T) {
+	c := New(3)
+	c.Put(10, 1.5, 2)
+	e, ok := c.Lookup(10)
+	if !ok || e.ID != 10 || e.TS != 1.5 || e.Version != 2 {
+		t.Fatalf("entry = %+v ok=%v", e, ok)
+	}
+	if _, ok := c.Lookup(11); ok {
+		t.Fatal("phantom hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Put(1, 0, 0)
+	c.Put(2, 0, 0)
+	c.Put(3, 0, 0)
+	c.Lookup(1) // promote 1; LRU is now 2
+	c.Put(4, 0, 0)
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("LRU item 2 survived eviction")
+	}
+	for _, id := range []int32{1, 3, 4} {
+		if _, ok := c.Peek(id); !ok {
+			t.Fatalf("item %d missing", id)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New(2)
+	c.Put(1, 10, 1)
+	c.Put(2, 10, 1)
+	c.Put(1, 20, 2) // refresh, promote
+	c.Put(3, 10, 1) // evicts 2, not 1
+	if _, ok := c.Peek(1); !ok {
+		t.Fatal("refreshed item evicted")
+	}
+	if e, _ := c.Peek(1); e.TS != 20 || e.Version != 2 {
+		t.Fatalf("refresh lost: %+v", e)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := New(2)
+	c.Put(1, 0, 0)
+	c.Put(2, 0, 0)
+	c.Peek(1)      // must not promote
+	c.Put(3, 0, 0) // evicts 1
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("Peek promoted")
+	}
+	if c.Hits() != 0 && c.Misses() != 0 {
+		t.Fatal("Peek recorded stats")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(3)
+	c.Put(1, 0, 0)
+	c.Put(2, 0, 0)
+	if !c.Invalidate(1) {
+		t.Fatal("Invalidate missed")
+	}
+	if c.Invalidate(1) {
+		t.Fatal("double invalidate")
+	}
+	if c.Len() != 1 || c.Invalidations() != 1 {
+		t.Fatalf("len=%d inv=%d", c.Len(), c.Invalidations())
+	}
+	// Freed slot is reusable.
+	c.Put(5, 0, 0)
+	c.Put(6, 0, 0)
+	if c.Len() != 3 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	c := New(4)
+	for i := int32(0); i < 4; i++ {
+		c.Put(i, 0, 0)
+	}
+	c.DropAll()
+	if c.Len() != 0 || c.Drops() != 1 {
+		t.Fatalf("len=%d drops=%d", c.Len(), c.Drops())
+	}
+	for i := int32(10); i < 14; i++ {
+		c.Put(i, 0, 0)
+	}
+	if c.Len() != 4 || c.Evictions() != 0 {
+		t.Fatalf("refill failed: len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+	c.DropAll()
+	c.DropAll() // empty drop still counted
+	if c.Drops() != 3 {
+		t.Fatalf("drops=%d", c.Drops())
+	}
+}
+
+func TestTouch(t *testing.T) {
+	c := New(2)
+	c.Put(1, 5, 1)
+	c.Put(2, 5, 1)
+	c.Touch(1, 9)
+	c.Touch(99, 9) // absent: no-op
+	if e, _ := c.Peek(1); e.TS != 9 {
+		t.Fatalf("TS = %v", e.TS)
+	}
+	c.TouchAll(12)
+	if e, _ := c.Peek(2); e.TS != 12 {
+		t.Fatalf("TouchAll TS = %v", e.TS)
+	}
+	// Touch must not change recency: 1 would otherwise outlive 2.
+	c.Put(3, 0, 0) // evicts LRU = 1
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("Touch changed recency")
+	}
+}
+
+func TestEachOrderAndIDs(t *testing.T) {
+	c := New(3)
+	c.Put(1, 0, 0)
+	c.Put(2, 0, 0)
+	c.Put(3, 0, 0)
+	c.Lookup(2)
+	var order []int32
+	c.Each(func(e Entry) bool { order = append(order, e.ID); return true })
+	want := []int32{2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	ids := c.IDs(nil)
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v", ids)
+		}
+	}
+	// Early stop.
+	n := 0
+	c.Each(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := New(2)
+	if c.HitRatio() != 0 {
+		t.Fatal("empty ratio")
+	}
+	c.Put(1, 0, 0)
+	c.Lookup(1)
+	c.Lookup(2)
+	if c.HitRatio() != 0.5 {
+		t.Fatalf("ratio = %v", c.HitRatio())
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New(1)
+	c.Put(1, 0, 0)
+	c.Put(2, 0, 0)
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("capacity-1 cache kept two items")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("capacity-1 cache lost the newest item")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: under random operations the cache never exceeds capacity, the
+// LRU list and index stay consistent, and Lookup returns exactly what was
+// last Put.
+func TestCacheConsistencyProperty(t *testing.T) {
+	src := rng.New(7)
+	f := func(opsRaw uint16, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		c := New(capacity)
+		model := make(map[int32]float64) // id -> ts for items possibly cached
+		ops := int(opsRaw) % 500
+		for i := 0; i < ops; i++ {
+			id := int32(src.Intn(24))
+			switch src.Intn(4) {
+			case 0:
+				ts := src.Float64()
+				c.Put(id, ts, 1)
+				model[id] = ts
+			case 1:
+				if e, ok := c.Lookup(id); ok {
+					if want, inModel := model[id]; !inModel || e.TS != want {
+						return false
+					}
+				}
+			case 2:
+				c.Invalidate(id)
+				delete(model, id)
+			case 3:
+				if src.Intn(20) == 0 {
+					c.DropAll()
+					model = make(map[int32]float64)
+				}
+			}
+			if c.Len() > capacity {
+				return false
+			}
+			// List/index agreement.
+			count := 0
+			c.Each(func(Entry) bool { count++; return true })
+			if count != c.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package client implements the mobile host of the simulation (paper §4).
+// Each client runs a closed query loop: think (with per-broadcast-interval
+// disconnection chances), generate a read-only query over a few items,
+// wait for the next invalidation report to validate the cache, answer
+// cached items locally, fetch the rest from the server over the shared
+// uplink/downlink, and repeat. Reports are processed whenever the client
+// is connected, independently of the query loop.
+package client
+
+import (
+	"math"
+
+	"mobicache/internal/core"
+	"mobicache/internal/netsim"
+	"mobicache/internal/report"
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+	"mobicache/internal/stats"
+	"mobicache/internal/trace"
+	"mobicache/internal/workload"
+)
+
+// ServerAPI is the client's view of the server's uplink endpoints; the
+// engine wires it to the server package.
+type ServerAPI interface {
+	// OnControl delivers a validation control message.
+	OnControl(msg *core.ControlMsg, now sim.Time)
+	// OnFetch delivers a data request for the given items.
+	OnFetch(clientID int32, ids []int32, now sim.Time)
+}
+
+// Config carries per-client parameters.
+type Config struct {
+	// ID identifies the client.
+	ID int32
+	// Side is the scheme's client half (shareable across clients).
+	Side core.ClientSide
+	// Params are the shared protocol constants.
+	Params core.Params
+	// CacheCapacity is the buffer pool size in items.
+	CacheCapacity int
+	// QueryAccess picks queried items; QueryItems their count.
+	QueryAccess workload.Access
+	QueryItems  rng.IntDist
+	// MeanThink is the expected think time between queries (seconds).
+	MeanThink float64
+	// ProbDisc is the disconnection probability (Table 1's "prob. of
+	// client disc. per interval").
+	ProbDisc float64
+	// MeanDisc is the expected disconnection length (seconds).
+	MeanDisc float64
+	// DiscPerInterval selects how ProbDisc is applied. False (default)
+	// follows §4's sentence "the arrival of a new query is separated from
+	// the completion of the previous query by either an exponentially
+	// distributed think time or an exponentially distributed
+	// disconnection time": each inter-query gap is a disconnection with
+	// probability ProbDisc, otherwise a think. This keeps the downlink
+	// saturated, matching the paper's "bandwidth is always fully
+	// utilized" assumption. True applies ProbDisc independently at every
+	// broadcast boundary crossed while thinking (the same sentence's
+	// "in each broadcast interval" reading) — kept as an ablation.
+	DiscPerInterval bool
+	// FetchRequestBits is the uplink cost of a data request (Table 1's
+	// 512-byte control message).
+	FetchRequestBits float64
+	// ConsistencyHook, if set, is invoked for every cache-served item
+	// with the served version and the client's validation timestamp; the
+	// engine uses it to verify that no stale item is ever served.
+	ConsistencyHook func(clientID, itemID, version int32, tlb float64)
+	// RespHist, if set, receives every query response time (shared across
+	// clients by the engine for percentile reporting).
+	RespHist *stats.Histogram
+	// Tracer records protocol events when non-nil.
+	Tracer *trace.Tracer
+	// OnWake, if set, is invoked when the client finishes a disconnection,
+	// just before it reconnects. A multi-cell coordinator uses it to move
+	// the client to a different cell (Reattach) — mobility happens while
+	// powered off, when no exchange is in flight.
+	OnWake func(c *Client)
+	// ReportLossProb injects reception failures: each broadcast report is
+	// independently lost with this probability (fading, collisions). The
+	// paper assumes perfect reception; the schemes must degrade to their
+	// missed-report recovery paths, never to stale reads.
+	ReportLossProb float64
+}
+
+// Client is one mobile host.
+type Client struct {
+	cfg    Config
+	k      *sim.Kernel
+	up     *netsim.Channel
+	server ServerAPI
+	st     *core.ClientState
+	src    *rng.Source
+
+	connected bool
+	validated *sim.Signal
+	fetchSig  *sim.Signal
+	pending   int
+
+	queryIDs []int32
+	missIDs  []int32
+
+	// Statistics.
+	QueriesAnswered      int64
+	ItemsRequested       int64
+	ItemsFromCache       int64
+	RespTime             stats.Tally
+	Disconnections       int64
+	DisconnectedFor      float64
+	ReportsHeard         int64
+	ReportsLost          int64
+	ValidationUplinkBits float64
+	ValidationUplinkMsgs int64
+	FetchUplinkBits      float64
+	StaleValidityDropped int64
+}
+
+// New creates a client; Start launches its process.
+func New(k *sim.Kernel, up *netsim.Channel, server ServerAPI, cfg Config, src *rng.Source) *Client {
+	return &Client{
+		cfg:       cfg,
+		k:         k,
+		up:        up,
+		server:    server,
+		st:        core.NewClientState(cfg.ID, cfg.CacheCapacity),
+		src:       src,
+		connected: true,
+		validated: sim.NewSignal(k),
+		fetchSig:  sim.NewSignal(k),
+	}
+}
+
+// State exposes the protocol state for the engine's result collection.
+func (c *Client) State() *core.ClientState { return c.st }
+
+// Reattach points the client at a different cell's uplink channel and
+// server. Call only while the client is disconnected (from OnWake): a
+// connected client may have messages in flight on the old channels.
+func (c *Client) Reattach(up *netsim.Channel, server ServerAPI) {
+	if c.connected {
+		panic("client: reattach while connected")
+	}
+	c.up = up
+	c.server = server
+}
+
+// Start launches the client's query-loop process.
+func (c *Client) Start() {
+	c.k.Go("client", c.run)
+}
+
+// ID implements server.Receiver.
+func (c *Client) ID() int32 { return c.cfg.ID }
+
+// Connected implements server.Receiver.
+func (c *Client) Connected() bool { return c.connected }
+
+// DeliverReport implements server.Receiver: the protocol step runs
+// immediately (it is the paper's client invalidation algorithm), and any
+// resulting uplink message is queued on the shared uplink channel.
+func (c *Client) DeliverReport(r report.Report, now sim.Time) {
+	if !c.connected {
+		return
+	}
+	if c.cfg.ReportLossProb > 0 && c.src.Bool(c.cfg.ReportLossProb) {
+		c.ReportsLost++
+		return
+	}
+	c.ReportsHeard++
+	salvagesBefore := c.st.Salvages
+	out := c.cfg.Side.HandleReport(c.st, r, now)
+	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ReportDelivered,
+		Client: c.cfg.ID, A: int64(r.Kind())})
+	if c.st.Salvages > salvagesBefore {
+		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheSalvage, Client: c.cfg.ID})
+	}
+	c.handleOutcome(out, now)
+}
+
+// DeliverValidity implements server.Receiver.
+func (c *Client) DeliverValidity(v *report.ValidityReport, now sim.Time) {
+	if !c.connected || !c.st.AwaitingValidity {
+		// The exchange was abandoned (disconnection mid-check).
+		c.StaleValidityDropped++
+		return
+	}
+	c.handleOutcome(c.cfg.Side.HandleValidity(c.st, v, now), now)
+}
+
+// DeliverItem implements server.Receiver: a fetched item arrives and is
+// cached with the version timestamp it carried.
+func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) {
+	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ItemDelivered,
+		Client: c.cfg.ID, A: int64(id)})
+	c.st.Cache.Put(id, ts, version)
+	if c.pending > 0 {
+		c.pending--
+		if c.pending == 0 {
+			c.fetchSig.Broadcast()
+		}
+	}
+}
+
+func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
+	if out.DroppedAll {
+		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheDrop, Client: c.cfg.ID})
+	}
+	if out.Send != nil {
+		bits := float64(out.Send.SizeBits(c.cfg.Params.Rep))
+		c.ValidationUplinkBits += bits
+		c.ValidationUplinkMsgs++
+		msg := out.Send
+		isFeedback := msg.Feedback != nil
+		kindArg := int64(0)
+		if isFeedback {
+			kindArg = 1
+		}
+		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ControlSent,
+			Client: c.cfg.ID, A: kindArg, B: int64(bits)})
+		c.up.Send(netsim.ClassControl, bits, func() {
+			if isFeedback {
+				c.st.FeedbackDeliveredAt = c.k.Now()
+			}
+			c.server.OnControl(msg, c.k.Now())
+		})
+	}
+	if out.Ready {
+		c.validated.Broadcast()
+	}
+}
+
+// run is the client lifecycle: gap (think or disconnection), query,
+// answer.
+func (c *Client) run(p *sim.Proc) {
+	for {
+		c.gap(p)
+		tq := p.Now()
+		k := c.cfg.QueryItems.Draw(c.src)
+		c.queryIDs = c.cfg.QueryAccess.Sample(c.src, k, c.queryIDs[:0])
+		c.cfg.Tracer.Record(trace.Event{T: tq, Kind: trace.QueryStart,
+			Client: c.cfg.ID, B: int64(len(c.queryIDs))})
+		c.answer(p, tq)
+	}
+}
+
+// gap separates the previous query's completion from the next query's
+// arrival (paper §4); see Config.DiscPerInterval for the two models.
+func (c *Client) gap(p *sim.Proc) {
+	if c.cfg.DiscPerInterval {
+		c.thinkPerInterval(p)
+		return
+	}
+	if c.src.Bool(c.cfg.ProbDisc) {
+		c.disconnect(p)
+	} else {
+		p.Hold(c.src.Exp(c.cfg.MeanThink))
+	}
+}
+
+// thinkPerInterval waits an exponential think time; at every broadcast
+// boundary crossed, the client may power down for an exponential
+// disconnection.
+func (c *Client) thinkPerInterval(p *sim.Proc) {
+	remaining := c.src.Exp(c.cfg.MeanThink)
+	L := c.cfg.Params.L
+	for remaining > 0 {
+		now := p.Now()
+		next := (math.Floor(now/L) + 1) * L
+		step := next - now
+		if remaining < step {
+			p.Hold(remaining)
+			return
+		}
+		p.Hold(step)
+		remaining -= step
+		if c.src.Bool(c.cfg.ProbDisc) {
+			c.disconnect(p)
+		}
+	}
+}
+
+// disconnect powers the client down for an exponential time. Any
+// validation exchange in flight is abandoned: the client will not hear
+// the answer, and must renegotiate from its (unchanged) Tlb after waking.
+func (c *Client) disconnect(p *sim.Proc) {
+	c.connected = false
+	c.st.AbandonPending()
+	d := c.src.Exp(c.cfg.MeanDisc)
+	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.Disconnect,
+		Client: c.cfg.ID, B: int64(d * 1e6)})
+	c.Disconnections++
+	c.DisconnectedFor += d
+	p.Hold(d)
+	if c.cfg.OnWake != nil {
+		c.cfg.OnWake(c)
+	}
+	c.connected = true
+	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.Reconnect, Client: c.cfg.ID})
+}
+
+// answer resolves one query: wait for a report that validates the cache
+// past the query's arrival, serve hits locally, fetch misses.
+func (c *Client) answer(p *sim.Proc, tq sim.Time) {
+	for c.st.Tlb <= tq {
+		p.Wait(c.validated)
+	}
+	c.missIDs = c.missIDs[:0]
+	for _, id := range c.queryIDs {
+		if e, ok := c.st.Cache.Lookup(id); ok {
+			c.ItemsFromCache++
+			if c.cfg.ConsistencyHook != nil {
+				c.cfg.ConsistencyHook(c.cfg.ID, id, e.Version, c.st.Tlb)
+			}
+		} else {
+			c.missIDs = append(c.missIDs, id)
+		}
+	}
+	c.ItemsRequested += int64(len(c.missIDs))
+	if len(c.missIDs) > 0 {
+		c.pending = len(c.missIDs)
+		ids := make([]int32, len(c.missIDs))
+		copy(ids, c.missIDs)
+		c.FetchUplinkBits += c.cfg.FetchRequestBits
+		c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
+			c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
+		})
+		for c.pending > 0 {
+			p.Wait(c.fetchSig)
+		}
+	}
+	c.QueriesAnswered++
+	c.RespTime.Observe(p.Now() - tq)
+	if c.cfg.RespHist != nil {
+		c.cfg.RespHist.Observe(p.Now() - tq)
+	}
+	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.QueryDone,
+		Client: c.cfg.ID, B: int64((p.Now() - tq) * 1e6)})
+}
+
+// ResetStats zeroes the client's measurement counters (warmup boundary);
+// protocol and cache state are untouched.
+func (c *Client) ResetStats() {
+	c.QueriesAnswered = 0
+	c.ItemsRequested = 0
+	c.ItemsFromCache = 0
+	c.RespTime = stats.Tally{}
+	c.Disconnections = 0
+	c.DisconnectedFor = 0
+	c.ReportsHeard = 0
+	c.ReportsLost = 0
+	c.ValidationUplinkBits = 0
+	c.ValidationUplinkMsgs = 0
+	c.FetchUplinkBits = 0
+	c.StaleValidityDropped = 0
+	c.st.Cache.ResetStats()
+	c.st.Drops = 0
+	c.st.Salvages = 0
+}

@@ -1,0 +1,330 @@
+package client
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/core"
+	"mobicache/internal/db"
+	"mobicache/internal/netsim"
+	"mobicache/internal/report"
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+	"mobicache/internal/workload"
+)
+
+// fakeServer records uplink arrivals and optionally auto-serves fetches.
+type fakeServer struct {
+	k          *sim.Kernel
+	controls   []*core.ControlMsg
+	controlAt  []sim.Time
+	fetches    [][]int32
+	serveItems func(clientID int32, ids []int32)
+}
+
+func (f *fakeServer) OnControl(msg *core.ControlMsg, now sim.Time) {
+	f.controls = append(f.controls, msg)
+	f.controlAt = append(f.controlAt, now)
+}
+
+func (f *fakeServer) OnFetch(clientID int32, ids []int32, now sim.Time) {
+	cp := make([]int32, len(ids))
+	copy(cp, ids)
+	f.fetches = append(f.fetches, cp)
+	if f.serveItems != nil {
+		f.serveItems(clientID, ids)
+	}
+}
+
+type rig struct {
+	k   *sim.Kernel
+	up  *netsim.Channel
+	srv *fakeServer
+	cl  *Client
+	d   *db.Database
+}
+
+func newRig(t *testing.T, schemeName string, mod func(*Config)) *rig {
+	t.Helper()
+	scheme, err := core.Lookup(schemeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams(1000)
+	k := sim.New()
+	t.Cleanup(k.Shutdown)
+	up := netsim.NewChannel(k, "up", 1e9)
+	srv := &fakeServer{k: k}
+	cfg := Config{
+		ID:               0,
+		Side:             scheme.NewClient(params),
+		Params:           params,
+		CacheCapacity:    20,
+		QueryAccess:      workload.UniformAccess{N: 1000},
+		QueryItems:       rng.Fixed{N: 5},
+		MeanThink:        50,
+		ProbDisc:         0,
+		MeanDisc:         400,
+		FetchRequestBits: 4096,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	cl := New(k, up, srv, cfg, rng.New(3))
+	r := &rig{k: k, up: up, srv: srv, cl: cl, d: db.New(1000, false)}
+	// Auto-serve fetches instantly by default (the engine routes them
+	// through the downlink; unit tests shortcut it).
+	srv.serveItems = func(clientID int32, ids []int32) {
+		for _, id := range ids {
+			cl.DeliverItem(id, 1, k.Now(), k.Now())
+		}
+	}
+	return r
+}
+
+// broadcast synthesizes a TS window report covering updates after
+// t - 200 s and delivers it.
+func (r *rig) broadcast(t float64) {
+	rep := &report.TSReport{T: t, WindowStart: t - 200,
+		Entries: r.d.UpdatedSince(t-200, nil)}
+	r.cl.DeliverReport(rep, t)
+}
+
+func TestQueryWaitsForNextReport(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	// No reports at all: no query can complete.
+	r.k.Run(500)
+	if r.cl.QueriesAnswered != 0 {
+		t.Fatalf("answered %d queries without any report", r.cl.QueriesAnswered)
+	}
+	// Deliver a report: the pending query proceeds.
+	r.broadcast(r.k.Now() + 1)
+	r.k.Run(600)
+	if r.cl.QueriesAnswered == 0 {
+		t.Fatal("query did not complete after a report")
+	}
+}
+
+func TestPeriodicReportsDriveQueries(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	for i := 1; i <= 200; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(4000)
+	// Think mean 50 s + report wait ~10 s: expect dozens of queries.
+	if r.cl.QueriesAnswered < 30 {
+		t.Fatalf("answered = %d", r.cl.QueriesAnswered)
+	}
+	if r.cl.ReportsHeard == 0 || r.cl.RespTime.Mean() <= 0 {
+		t.Fatalf("heard=%d resp=%v", r.cl.ReportsHeard, r.cl.RespTime.Mean())
+	}
+	// Every query fetched 5 items (empty cache start, uniform over 1000
+	// items with a 20-item cache: hits are rare but possible).
+	if r.cl.ItemsRequested+r.cl.ItemsFromCache != 5*r.cl.QueriesAnswered {
+		t.Fatalf("items %d+%d != 5*%d", r.cl.ItemsRequested, r.cl.ItemsFromCache, r.cl.QueriesAnswered)
+	}
+}
+
+func TestCacheHitsAvoidFetch(t *testing.T) {
+	r := newRig(t, "ts", func(c *Config) {
+		c.QueryAccess = workload.UniformAccess{N: 3}
+		c.QueryItems = rng.Fixed{N: 3}
+		c.CacheCapacity = 3
+	})
+	r.cl.Start()
+	for i := 1; i <= 50; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(1000)
+	if r.cl.QueriesAnswered < 3 {
+		t.Fatalf("answered = %d", r.cl.QueriesAnswered)
+	}
+	// After the first query warms the 3-item cache, later queries hit.
+	if r.cl.ItemsFromCache == 0 {
+		t.Fatal("no cache hits despite a fully cacheable working set")
+	}
+	if len(r.srv.fetches) < 1 {
+		t.Fatal("first query did not fetch")
+	}
+}
+
+func TestConsistencyHookInvoked(t *testing.T) {
+	var calls int
+	r := newRig(t, "ts", func(c *Config) {
+		c.QueryAccess = workload.UniformAccess{N: 2}
+		c.QueryItems = rng.Fixed{N: 2}
+		c.ConsistencyHook = func(clientID, itemID, version int32, tlb float64) {
+			calls++
+			if tlb <= 0 {
+				t.Fatalf("hook tlb = %v", tlb)
+			}
+		}
+	})
+	r.cl.Start()
+	for i := 1; i <= 50; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(1000)
+	if calls == 0 {
+		t.Fatal("hook never invoked despite cache hits")
+	}
+}
+
+func TestUplinkAccountingForChecks(t *testing.T) {
+	r := newRig(t, "ts-check", nil)
+	st := r.cl.State()
+	st.Cache.Put(5, 0, 0)
+	st.Tlb = 0
+	// A report far beyond the window forces a check request.
+	r.k.Schedule(0, func() {
+		r.cl.DeliverReport(&report.TSReport{T: 1000, WindowStart: 800}, 1000)
+	})
+	r.k.Run(2000)
+	if len(r.srv.controls) != 1 || r.srv.controls[0].Check == nil {
+		t.Fatalf("controls = %+v", r.srv.controls)
+	}
+	if r.cl.ValidationUplinkMsgs != 1 || r.cl.ValidationUplinkBits <= 0 {
+		t.Fatalf("validation accounting: %d msgs %v bits",
+			r.cl.ValidationUplinkMsgs, r.cl.ValidationUplinkBits)
+	}
+	want := float64(r.srv.controls[0].Check.SizeBits(r.cl.cfg.Params.Rep))
+	if r.cl.ValidationUplinkBits != want {
+		t.Fatalf("bits = %v, want %v", r.cl.ValidationUplinkBits, want)
+	}
+}
+
+func TestFeedbackDeliveredAtSetOnDelivery(t *testing.T) {
+	r := newRig(t, "aaw", nil)
+	st := r.cl.State()
+	st.Cache.Put(5, 0, 0)
+	st.Tlb = 0
+	r.k.Schedule(0, func() {
+		r.cl.DeliverReport(&report.TSReport{T: 1000, WindowStart: 800}, 1000)
+	})
+	if !math.IsInf(st.FeedbackDeliveredAt, 0) && st.FeedbackDeliveredAt != 0 {
+		t.Fatal("premature delivery stamp")
+	}
+	r.k.Run(2000)
+	if len(r.srv.controls) != 1 || r.srv.controls[0].Feedback == nil {
+		t.Fatalf("controls = %+v", r.srv.controls)
+	}
+	if math.IsInf(st.FeedbackDeliveredAt, 1) {
+		t.Fatal("FeedbackDeliveredAt never stamped")
+	}
+	if st.FeedbackDeliveredAt != r.srv.controlAt[0] {
+		t.Fatalf("stamp %v != arrival %v", st.FeedbackDeliveredAt, r.srv.controlAt[0])
+	}
+}
+
+func TestDisconnectionGapModel(t *testing.T) {
+	r := newRig(t, "ts", func(c *Config) {
+		c.ProbDisc = 1 // every gap is a disconnection
+		c.MeanDisc = 100
+	})
+	r.cl.Start()
+	for i := 1; i <= 500; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(10000)
+	if r.cl.Disconnections == 0 {
+		t.Fatal("no disconnections with ProbDisc = 1")
+	}
+	if r.cl.DisconnectedFor <= 0 {
+		t.Fatal("no disconnected time accumulated")
+	}
+	// While disconnected, reports are not heard: far fewer than 500.
+	if r.cl.ReportsHeard >= 450 {
+		t.Fatalf("heard %d of 500 reports despite constant disconnection", r.cl.ReportsHeard)
+	}
+}
+
+func TestDisconnectedClientIgnoresReports(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.connected = false
+	r.cl.DeliverReport(&report.TSReport{T: 20}, 20)
+	if r.cl.ReportsHeard != 0 {
+		t.Fatal("disconnected client heard a report")
+	}
+	if r.cl.Connected() {
+		t.Fatal("Connected() lies")
+	}
+}
+
+func TestStaleValidityDropped(t *testing.T) {
+	r := newRig(t, "ts-check", nil)
+	// No check outstanding: a stray validity reply must be ignored.
+	r.cl.DeliverValidity(&report.ValidityReport{T: 10, Seq: 9}, 10)
+	if r.cl.StaleValidityDropped != 1 {
+		t.Fatalf("stale drops = %d", r.cl.StaleValidityDropped)
+	}
+}
+
+func TestAbandonedCheckIgnoresLateReply(t *testing.T) {
+	r := newRig(t, "ts-check", nil)
+	st := r.cl.State()
+	st.Cache.Put(5, 0, 0)
+	st.Tlb = 0
+	r.k.Schedule(0, func() {
+		r.cl.DeliverReport(&report.TSReport{T: 1000, WindowStart: 800}, 1000)
+	})
+	r.k.Run(10)
+	if !st.AwaitingValidity {
+		t.Fatal("no check outstanding")
+	}
+	seq := r.srv.controls[0].Check.Seq
+	// The client disconnects, abandoning the exchange...
+	st.AbandonPending()
+	r.cl.connected = false
+	// ...and the reply arrives while it sleeps.
+	r.cl.DeliverValidity(&report.ValidityReport{T: 1001, Seq: seq, Valid: []bool{false}}, 1001)
+	if r.cl.StaleValidityDropped != 1 {
+		t.Fatal("late reply not dropped")
+	}
+	if _, ok := st.Cache.Peek(5); !ok {
+		t.Fatal("late reply mutated the cache")
+	}
+}
+
+func TestPerIntervalThinkModel(t *testing.T) {
+	r := newRig(t, "ts", func(c *Config) {
+		c.DiscPerInterval = true
+		c.ProbDisc = 0.5
+		c.MeanDisc = 50
+		c.MeanThink = 200 // spans ~10 boundaries
+	})
+	r.cl.Start()
+	for i := 1; i <= 500; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(10000)
+	if r.cl.Disconnections == 0 {
+		t.Fatal("per-interval model never disconnected")
+	}
+	if r.cl.QueriesAnswered == 0 {
+		t.Fatal("per-interval model answered nothing")
+	}
+}
+
+func TestFetchRequestBitsAccounted(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	for i := 1; i <= 20; i++ {
+		tt := float64(i) * 20
+		r.k.At(tt, func() { r.broadcast(tt) })
+	}
+	r.k.Run(400)
+	if r.cl.QueriesAnswered == 0 {
+		t.Fatal("no queries")
+	}
+	wantBits := float64(len(r.srv.fetches)) * 4096
+	if r.cl.FetchUplinkBits != wantBits {
+		t.Fatalf("fetch bits = %v, want %v", r.cl.FetchUplinkBits, wantBits)
+	}
+}

@@ -1,0 +1,225 @@
+// Package core implements the cache-invalidation schemes the paper
+// defines and evaluates: the plain broadcasting-timestamps algorithm (TS),
+// amnesic terminals (AT), TS with validity checking ("simple checking",
+// Wu et al.), bit sequences (BS, Jing et al.), and the paper's two
+// contributions — the adaptive invalidation reports with fixed window
+// (AFW) and with adjusting window (AAW).
+//
+// Each scheme is split into a server side (what report to broadcast every
+// L seconds, how to answer uplink control messages) and a client side (how
+// a received report changes the cache and what, if anything, to send
+// uplink). The simulation engine hosts both and moves the messages over
+// the simulated channels; everything protocol-specific lives here, so the
+// schemes can also be driven directly by unit tests without a simulator.
+package core
+
+import (
+	"fmt"
+
+	"mobicache/internal/bitseq"
+	"mobicache/internal/cache"
+	"mobicache/internal/db"
+	"mobicache/internal/report"
+)
+
+// Params are the protocol constants shared by server and clients.
+type Params struct {
+	// N is the database size in items.
+	N int
+	// L is the broadcast period in seconds.
+	L float64
+	// W is the invalidation window in broadcast intervals.
+	W int
+	// Rep is the message size model.
+	Rep report.Params
+}
+
+// WindowSeconds reports w*L, the span covered by a default window report.
+func (p Params) WindowSeconds() float64 { return float64(p.W) * p.L }
+
+// DefaultParams mirrors Table 1: L = 20 s, w = 10 intervals.
+func DefaultParams(n int) Params {
+	return Params{N: n, L: 20, W: 10, Rep: report.DefaultParams(n)}
+}
+
+// ControlMsg is an uplink validation message: exactly one field is set.
+type ControlMsg struct {
+	Check    *report.CheckRequest
+	Feedback *report.Feedback
+}
+
+// SizeBits reports the message size under the paper's formulas.
+func (m *ControlMsg) SizeBits(p report.Params) int {
+	switch {
+	case m.Check != nil:
+		return m.Check.SizeBits(p)
+	case m.Feedback != nil:
+		return m.Feedback.SizeBits(p)
+	default:
+		panic("core: empty control message")
+	}
+}
+
+// ServerSide is the per-run server half of a scheme.
+type ServerSide interface {
+	// BuildReport constructs the invalidation report broadcast at time
+	// now, reading the server database d.
+	BuildReport(d *db.Database, now float64) report.Report
+	// HandleControl processes an uplink validation message arriving at
+	// time now; a non-nil result is a validity report to send back to the
+	// client.
+	HandleControl(d *db.Database, msg *ControlMsg, now float64) *report.ValidityReport
+}
+
+// ClientState is the per-client protocol state every scheme operates on.
+type ClientState struct {
+	// ID identifies the client in uplink messages.
+	ID int32
+	// Cache is the client's buffer pool.
+	Cache *cache.Cache
+	// Tlb is the timestamp of the latest report (or validity reply)
+	// through which the cache has been validated. Queries arriving at
+	// time t may be answered from cache once Tlb > t.
+	Tlb float64
+	// SentTlb is set while a Tlb feedback is outstanding (adaptive
+	// schemes): sent, and not yet answered by a helpful report.
+	SentTlb bool
+	// FeedbackDeliveredAt is when the outstanding feedback finished its
+	// uplink transmission; +Inf while still in flight. A client only
+	// concludes "the server ignored my feedback" — and drops its cache —
+	// from a report broadcast after the feedback had actually arrived.
+	FeedbackDeliveredAt float64
+	// AwaitingValidity is set between sending a check request and
+	// receiving the validity report (checking scheme).
+	AwaitingValidity bool
+	// PendingCheckIDs records the id order of the outstanding check
+	// request; the validity bitmap is interpreted positionally against it.
+	PendingCheckIDs []int32
+	// CheckSeq numbers check requests so replies to abandoned exchanges
+	// are recognized and ignored.
+	CheckSeq int64
+
+	// Ext holds scheme-specific per-client state (e.g. the SIG scheme's
+	// previously heard combined signatures).
+	Ext any
+
+	// Drops counts full-cache discards; Salvages counts long-
+	// disconnection revalidations that kept the cache.
+	Drops    int64
+	Salvages int64
+}
+
+// NewClientState creates protocol state with an empty cache of the given
+// capacity, validated through time 0.
+func NewClientState(id int32, capacity int) *ClientState {
+	return &ClientState{ID: id, Cache: cache.New(capacity)}
+}
+
+// AbandonPending clears in-flight validation state. The hosting client
+// calls it on disconnection: a reply or special report that arrives for
+// the abandoned exchange must not be applied, and the next reconnection
+// starts the protocol round afresh.
+func (st *ClientState) AbandonPending() {
+	st.AwaitingValidity = false
+	st.SentTlb = false
+	st.CheckSeq++
+}
+
+// Outcome tells the hosting client process what a protocol step decided.
+type Outcome struct {
+	// Ready reports that the cache is now validated through a new Tlb;
+	// pending queries older than Tlb may consult the cache.
+	Ready bool
+	// Send, if non-nil, is a control message to transmit uplink.
+	Send *ControlMsg
+	// DroppedAll reports that the entire cache was discarded.
+	DroppedAll bool
+}
+
+// ClientSide is the per-client half of a scheme. Implementations keep all
+// mutable state in ClientState, so one ClientSide value may serve many
+// clients.
+type ClientSide interface {
+	// HandleReport processes a broadcast report received at time now.
+	HandleReport(st *ClientState, r report.Report, now float64) Outcome
+	// HandleValidity processes a validity reply (checking scheme only;
+	// others panic, since the server never sends one).
+	HandleValidity(st *ClientState, v *report.ValidityReport, now float64) Outcome
+}
+
+// Scheme names and constructs the two halves of an invalidation method.
+type Scheme interface {
+	// Name is the identifier used in configs and result tables.
+	Name() string
+	// NewServer creates the server half for one simulation run.
+	NewServer(p Params) ServerSide
+	// NewClient creates the (shareable) client half.
+	NewClient(p Params) ClientSide
+}
+
+// applyTSEntries performs the Figure 1 invalidation step: discard every
+// cached item the report lists with a newer update timestamp, then stamp
+// the survivors as validated at the report time.
+func applyTSEntries(st *ClientState, entries []db.UpdateEntry, t float64) {
+	for _, e := range entries {
+		if cached, ok := st.Cache.Peek(e.ID); ok && cached.TS < e.TS {
+			st.Cache.Invalidate(e.ID)
+		}
+	}
+	st.Cache.TouchAll(t)
+}
+
+// dropAll empties the cache and counts it.
+func dropAll(st *ClientState) {
+	st.Cache.DropAll()
+	st.Drops++
+}
+
+// validate marks the cache validated through t.
+func validate(st *ClientState, t float64) {
+	st.Tlb = t
+}
+
+// tsBn reports TS(B_n) for the current database state: the update time of
+// the (N/2+1)-th most recently updated item, or the epoch when at most
+// N/2 distinct items were ever updated (then the bit-sequences structure
+// can salvage arbitrarily old caches).
+func tsBn(d *db.Database) float64 {
+	half := d.N() / 2
+	if d.DistinctUpdated() <= half {
+		return bitseq.Epoch
+	}
+	ts, ok := d.NthRecentTime(half)
+	if !ok {
+		return bitseq.Epoch
+	}
+	return ts
+}
+
+// Registry maps scheme names to constructors.
+var Registry = map[string]Scheme{}
+
+func register(s Scheme) {
+	if _, dup := Registry[s.Name()]; dup {
+		panic("core: duplicate scheme " + s.Name())
+	}
+	Registry[s.Name()] = s
+}
+
+// Lookup finds a scheme by name.
+func Lookup(name string) (Scheme, error) {
+	s, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q", name)
+	}
+	return s, nil
+}
+
+// Names lists the registered scheme names (unordered).
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package core
+
+// The scheme registry, used by the engine, the CLIs and the experiment
+// harness to resolve configuration names. The paper's evaluation compares
+// bs, ts-check, afw and aaw; ts and at are the §2 building blocks.
+func init() {
+	register(TS())
+	register(TSCheck())
+	register(AT())
+	register(BS())
+	register(AFW())
+	register(AAW())
+	register(SIG())
+}

@@ -1,0 +1,215 @@
+// Package db implements the server's database: N named items, updated
+// only at the server (paper §2). Besides current item state it maintains
+// the two indexes the invalidation schemes need:
+//
+//   - a recency list (most recently updated first) from which both the
+//     timestamp-window reports and the bit-sequences structure are built
+//     in time proportional to their own size, and
+//   - per-item update-time logs so tests can ask "what version was
+//     current at time t" and verify that no client ever serves a stale
+//     cache entry.
+package db
+
+import "sort"
+
+// UpdateEntry is one (item, last-update time) pair, as carried in
+// timestamp-window invalidation reports.
+type UpdateEntry struct {
+	ID int32
+	TS float64
+}
+
+const nilIdx = int32(-1)
+
+// Database holds the server's N data items.
+type Database struct {
+	n          int
+	lastUpdate []float64 // per item; -1 when never updated
+	version    []int32   // per item; 0 when never updated
+	history    [][]float64
+
+	// Intrusive doubly-linked recency list over item ids; head is the
+	// most recently updated item. Only ever-updated items are linked.
+	next, prev []int32
+	head, tail int32
+	updated    int // distinct items ever updated
+
+	updates      int64   // total update operations
+	lastTime     float64 // global high-water mark for time ordering
+	trackHistory bool
+}
+
+// New creates a database of n items, none updated yet. trackHistory
+// enables per-item update logs (needed by VersionAt; costs memory
+// proportional to total updates).
+func New(n int, trackHistory bool) *Database {
+	if n <= 0 {
+		panic("db: need at least one item")
+	}
+	d := &Database{
+		n:            n,
+		lastUpdate:   make([]float64, n),
+		version:      make([]int32, n),
+		next:         make([]int32, n),
+		prev:         make([]int32, n),
+		head:         nilIdx,
+		tail:         nilIdx,
+		trackHistory: trackHistory,
+	}
+	for i := range d.lastUpdate {
+		d.lastUpdate[i] = -1
+		d.next[i] = nilIdx
+		d.prev[i] = nilIdx
+	}
+	if trackHistory {
+		d.history = make([][]float64, n)
+	}
+	return d
+}
+
+// N reports the database size.
+func (d *Database) N() int { return d.n }
+
+// Updates reports the total number of update operations applied.
+func (d *Database) Updates() int64 { return d.updates }
+
+// DistinctUpdated reports how many distinct items have ever been updated.
+func (d *Database) DistinctUpdated() int { return d.updated }
+
+// Update applies an update to item id at time now. Updates must be
+// applied in globally non-decreasing time order (the recency index
+// depends on it).
+func (d *Database) Update(id int32, now float64) {
+	if id < 0 || int(id) >= d.n {
+		panic("db: item id out of range")
+	}
+	if d.lastTime > now {
+		panic("db: updates out of time order")
+	}
+	d.lastTime = now
+	if d.lastUpdate[id] < 0 {
+		d.updated++
+	} else {
+		d.unlink(id)
+	}
+	d.lastUpdate[id] = now
+	d.version[id]++
+	d.pushFront(id)
+	d.updates++
+	if d.trackHistory {
+		d.history[id] = append(d.history[id], now)
+	}
+}
+
+func (d *Database) unlink(id int32) {
+	p, n := d.prev[id], d.next[id]
+	if p != nilIdx {
+		d.next[p] = n
+	} else {
+		d.head = n
+	}
+	if n != nilIdx {
+		d.prev[n] = p
+	} else {
+		d.tail = p
+	}
+	d.prev[id], d.next[id] = nilIdx, nilIdx
+}
+
+func (d *Database) pushFront(id int32) {
+	d.prev[id] = nilIdx
+	d.next[id] = d.head
+	if d.head != nilIdx {
+		d.prev[d.head] = id
+	}
+	d.head = id
+	if d.tail == nilIdx {
+		d.tail = id
+	}
+}
+
+// LastUpdate reports when id was last updated, or a negative value if
+// never.
+func (d *Database) LastUpdate(id int32) float64 { return d.lastUpdate[id] }
+
+// Version reports the current version of id (0 = initial, never updated).
+func (d *Database) Version(id int32) int32 { return d.version[id] }
+
+// UpdatedSince appends to dst every (id, lastUpdate) with lastUpdate > t,
+// most recent first, and returns the extended slice. Cost is proportional
+// to the result size.
+func (d *Database) UpdatedSince(t float64, dst []UpdateEntry) []UpdateEntry {
+	for id := d.head; id != nilIdx; id = d.next[id] {
+		if d.lastUpdate[id] <= t {
+			break
+		}
+		dst = append(dst, UpdateEntry{ID: id, TS: d.lastUpdate[id]})
+	}
+	return dst
+}
+
+// CountUpdatedSince reports how many distinct items were updated after t.
+func (d *Database) CountUpdatedSince(t float64) int {
+	n := 0
+	for id := d.head; id != nilIdx; id = d.next[id] {
+		if d.lastUpdate[id] <= t {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// MostRecent calls fn for up to max distinct items in most-recent-first
+// order, stopping early if fn returns false. It visits only items that
+// were ever updated.
+func (d *Database) MostRecent(max int, fn func(id int32, ts float64) bool) {
+	count := 0
+	for id := d.head; id != nilIdx && count < max; id = d.next[id] {
+		if !fn(id, d.lastUpdate[id]) {
+			return
+		}
+		count++
+	}
+}
+
+// NthRecentTime reports the last-update time of the n-th most recently
+// updated item (0-based) and true, or 0 and false when fewer than n+1
+// items were ever updated. The bit-sequences scheme uses this for TS(Bk).
+func (d *Database) NthRecentTime(n int) (float64, bool) {
+	count := 0
+	for id := d.head; id != nilIdx; id = d.next[id] {
+		if count == n {
+			return d.lastUpdate[id], true
+		}
+		count++
+	}
+	return 0, false
+}
+
+// NewestUpdateTime reports the most recent update time, or -1 if the
+// database was never updated.
+func (d *Database) NewestUpdateTime() float64 {
+	if d.head == nilIdx {
+		return -1
+	}
+	return d.lastUpdate[d.head]
+}
+
+// VersionAt reports the version of id that was current at time t.
+// It requires history tracking.
+func (d *Database) VersionAt(id int32, t float64) int32 {
+	if !d.trackHistory {
+		panic("db: VersionAt requires history tracking")
+	}
+	h := d.history[id]
+	// Number of updates with time <= t.
+	return int32(sort.SearchFloat64s(h, t+1e-12)) // inclusive of t
+}
+
+// CheckValid reports whether item id, last validated by its holder at
+// time tlb, is still valid now: i.e. it has not been updated since tlb.
+// This is the server-side test in the simple-checking scheme.
+func (d *Database) CheckValid(id int32, tlb float64) bool {
+	return d.lastUpdate[id] <= tlb
+}

@@ -1,0 +1,250 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobicache/internal/rng"
+)
+
+func TestFreshDatabase(t *testing.T) {
+	d := New(10, true)
+	if d.N() != 10 || d.Updates() != 0 || d.DistinctUpdated() != 0 {
+		t.Fatal("fresh database state")
+	}
+	if d.LastUpdate(3) >= 0 {
+		t.Fatal("unupdated item has non-negative last update")
+	}
+	if d.Version(3) != 0 {
+		t.Fatal("unupdated item has non-zero version")
+	}
+	if d.NewestUpdateTime() != -1 {
+		t.Fatal("newest update time of empty history")
+	}
+	if got := d.UpdatedSince(0, nil); len(got) != 0 {
+		t.Fatalf("UpdatedSince on fresh db: %v", got)
+	}
+}
+
+func TestUpdateBasics(t *testing.T) {
+	d := New(5, true)
+	d.Update(2, 10)
+	d.Update(4, 20)
+	d.Update(2, 30)
+	if d.Updates() != 3 || d.DistinctUpdated() != 2 {
+		t.Fatalf("updates=%d distinct=%d", d.Updates(), d.DistinctUpdated())
+	}
+	if d.LastUpdate(2) != 30 || d.Version(2) != 2 {
+		t.Fatalf("item 2: last=%v ver=%d", d.LastUpdate(2), d.Version(2))
+	}
+	if d.NewestUpdateTime() != 30 {
+		t.Fatalf("newest=%v", d.NewestUpdateTime())
+	}
+}
+
+func TestUpdatedSinceOrder(t *testing.T) {
+	d := New(10, false)
+	d.Update(1, 5)
+	d.Update(2, 10)
+	d.Update(3, 15)
+	d.Update(1, 20) // item 1 becomes most recent
+	got := d.UpdatedSince(7, nil)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].ID != 1 || got[0].TS != 20 {
+		t.Fatalf("head = %+v", got[0])
+	}
+	if got[1].ID != 3 || got[2].ID != 2 {
+		t.Fatalf("order = %v", got)
+	}
+	// Boundary: strictly greater than t.
+	if n := d.CountUpdatedSince(10); n != 2 {
+		t.Fatalf("CountUpdatedSince(10) = %d", n)
+	}
+	if n := d.CountUpdatedSince(20); n != 0 {
+		t.Fatalf("CountUpdatedSince(20) = %d", n)
+	}
+}
+
+func TestUpdatedSinceAppends(t *testing.T) {
+	d := New(10, false)
+	d.Update(1, 5)
+	base := []UpdateEntry{{ID: 99, TS: 1}}
+	got := d.UpdatedSince(0, base)
+	if len(got) != 2 || got[0].ID != 99 {
+		t.Fatalf("append semantics: %v", got)
+	}
+}
+
+func TestMostRecent(t *testing.T) {
+	d := New(10, false)
+	for i := int32(0); i < 5; i++ {
+		d.Update(i, float64(i))
+	}
+	var ids []int32
+	d.MostRecent(3, func(id int32, ts float64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 3 || ids[0] != 4 || ids[1] != 3 || ids[2] != 2 {
+		t.Fatalf("MostRecent = %v", ids)
+	}
+	// Early stop.
+	count := 0
+	d.MostRecent(10, func(int32, float64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNthRecentTime(t *testing.T) {
+	d := New(10, false)
+	d.Update(7, 100)
+	d.Update(8, 200)
+	if ts, ok := d.NthRecentTime(0); !ok || ts != 200 {
+		t.Fatalf("0th = %v %v", ts, ok)
+	}
+	if ts, ok := d.NthRecentTime(1); !ok || ts != 100 {
+		t.Fatalf("1st = %v %v", ts, ok)
+	}
+	if _, ok := d.NthRecentTime(2); ok {
+		t.Fatal("2nd should not exist")
+	}
+}
+
+func TestVersionAt(t *testing.T) {
+	d := New(4, true)
+	d.Update(1, 10)
+	d.Update(1, 20)
+	d.Update(1, 30)
+	cases := []struct {
+		t    float64
+		want int32
+	}{{5, 0}, {10, 1}, {15, 1}, {20, 2}, {25, 2}, {30, 3}, {99, 3}}
+	for _, c := range cases {
+		if got := d.VersionAt(1, c.t); got != c.want {
+			t.Fatalf("VersionAt(1, %v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if d.VersionAt(0, 99) != 0 {
+		t.Fatal("VersionAt of never-updated item")
+	}
+}
+
+func TestVersionAtRequiresHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(3, false).VersionAt(0, 1)
+}
+
+func TestCheckValid(t *testing.T) {
+	d := New(3, false)
+	d.Update(0, 50)
+	if d.CheckValid(0, 40) {
+		t.Fatal("item updated after tlb reported valid")
+	}
+	if !d.CheckValid(0, 50) {
+		t.Fatal("item updated exactly at tlb should be valid (client saw it)")
+	}
+	if !d.CheckValid(1, 0) {
+		t.Fatal("never-updated item should be valid")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero items":   func() { New(0, false) },
+		"id range":     func() { New(3, false).Update(3, 1) },
+		"neg id":       func() { New(3, false).Update(-1, 1) },
+		"time reorder": func() { d := New(3, false); d.Update(0, 10); d.Update(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: after any sequence of updates, UpdatedSince(t) returns exactly
+// the items with lastUpdate > t, in strictly decreasing time order with no
+// duplicates.
+func TestUpdatedSinceProperty(t *testing.T) {
+	src := rng.New(99)
+	f := func(opsRaw uint8, seed uint16) bool {
+		n := 20
+		d := New(n, false)
+		now := 0.0
+		last := make([]float64, n)
+		for i := range last {
+			last[i] = -1
+		}
+		ops := int(opsRaw)
+		for i := 0; i < ops; i++ {
+			now += src.Exp(1)
+			id := int32(src.Intn(n))
+			d.Update(id, now)
+			last[id] = now
+		}
+		cut := now * src.Float64()
+		got := d.UpdatedSince(cut, nil)
+		seen := make(map[int32]bool)
+		prev := 1e18
+		for _, e := range got {
+			if e.TS <= cut || seen[e.ID] || e.TS > prev || last[e.ID] != e.TS {
+				return false
+			}
+			seen[e.ID] = true
+			prev = e.TS
+		}
+		// Completeness.
+		for id, ts := range last {
+			if ts > cut && !seen[int32(id)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the recency list visits every ever-updated item exactly once,
+// in decreasing time order.
+func TestRecencyListIntegrity(t *testing.T) {
+	src := rng.New(123)
+	d := New(50, false)
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		now += src.Exp(1)
+		d.Update(int32(src.Intn(50)), now)
+	}
+	var ids []int32
+	prev := 1e18
+	d.MostRecent(100, func(id int32, ts float64) bool {
+		if ts > prev {
+			t.Fatalf("recency order broken at %d", id)
+		}
+		prev = ts
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != d.DistinctUpdated() {
+		t.Fatalf("visited %d, distinct %d", len(ids), d.DistinctUpdated())
+	}
+	seen := make(map[int32]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate %d in recency list", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,411 @@
+// Package engine assembles one complete simulation run: the kernel, the
+// shared downlink and uplink channels, the server with its update stream,
+// and the population of mobile clients — the system of paper §4. Config
+// mirrors Table 1; Run executes the simulation and gathers Results.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/db"
+	"mobicache/internal/netsim"
+	"mobicache/internal/report"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+	"mobicache/internal/sim"
+	"mobicache/internal/stats"
+	"mobicache/internal/trace"
+	"mobicache/internal/workload"
+)
+
+// Config is one simulation setup. The zero value is not runnable; start
+// from Default and override.
+type Config struct {
+	// Scheme names the invalidation method (core registry: "ts",
+	// "ts-check", "at", "bs", "afw", "aaw").
+	Scheme string
+	// Clients is the number of mobile hosts in the cell.
+	Clients int
+	// DBSize is the number of database items.
+	DBSize int
+	// ItemBits is the downlink size of one data item. Table 1 says
+	// "8192 bytes", which is inconsistent with the paper's own throughput
+	// magnitudes on a 10 kbit/s downlink; we use 8192 bits (see
+	// DESIGN.md §3).
+	ItemBits float64
+	// BufferPct is the client cache size as a fraction of DBSize.
+	BufferPct float64
+	// Period is the broadcast period L in seconds.
+	Period float64
+	// WindowIntervals is the invalidation window w in periods.
+	WindowIntervals int
+	// DownlinkBps and UplinkBps are channel bandwidths in bits/second.
+	DownlinkBps float64
+	UplinkBps   float64
+	// ControlMsgBits is the fixed size of a data-fetch request (Table 1's
+	// 512-byte control message).
+	ControlMsgBits float64
+	// MeanThink is the expected think time between queries.
+	MeanThink float64
+	// MeanUpdate is the expected update-transaction interarrival time.
+	MeanUpdate float64
+	// MeanDisc and ProbDisc model disconnection: each inter-query gap is
+	// a disconnection of mean MeanDisc with probability ProbDisc,
+	// otherwise a think (see client.Config.DiscPerInterval for the
+	// alternative per-boundary model).
+	MeanDisc float64
+	ProbDisc float64
+	// DiscPerInterval switches to the per-broadcast-boundary
+	// disconnection model (ablation).
+	DiscPerInterval bool
+	// SimTime is the simulated horizon in seconds.
+	SimTime float64
+	// Warmup discards all statistics gathered before this simulated time,
+	// so measurements cover only the steady state (0 = measure the whole
+	// run, like the paper).
+	Warmup float64
+	// Seed feeds every random stream; identical configs with identical
+	// seeds produce identical results.
+	Seed uint64
+	// Workload supplies access patterns and operation sizes; nil Query
+	// means Uniform(DBSize).
+	Workload workload.Workload
+	// TSBits and HeaderBits tune the message size model.
+	TSBits     int
+	HeaderBits int
+	// ConsistencyCheck enables the stale-read detector: every cache-served
+	// item is compared against the version that was current at the
+	// client's validation timestamp. Costs memory proportional to the
+	// update count.
+	ConsistencyCheck bool
+	// Trace, when non-nil, records protocol events from the server and
+	// every client into the given ring buffer.
+	Trace *trace.Tracer
+	// ReportLossProb injects per-client report reception failures
+	// (failure-injection extension; the paper assumes perfect reception).
+	ReportLossProb float64
+}
+
+// Default returns Table 1's settings with the UNIFORM workload: 100
+// clients, 10000-item database, 2% buffers, L=20 s, w=10, symmetric
+// 10 kbit/s channels, 100 s think and update interarrival, disconnection
+// probability 0.1 with 4000 s mean, 100000 s horizon.
+func Default() Config {
+	return Config{
+		Scheme:           "aaw",
+		Clients:          100,
+		DBSize:           10000,
+		ItemBits:         8192,
+		BufferPct:        0.02,
+		Period:           20,
+		WindowIntervals:  10,
+		DownlinkBps:      10000,
+		UplinkBps:        10000,
+		ControlMsgBits:   4096,
+		MeanThink:        100,
+		MeanUpdate:       100,
+		MeanDisc:         4000,
+		ProbDisc:         0.1,
+		SimTime:          100000,
+		Seed:             1,
+		Workload:         workload.Uniform(10000),
+		TSBits:           64,
+		HeaderBits:       32,
+		ConsistencyCheck: false,
+	}
+}
+
+// WithWorkload returns the config with the workload swapped and DBSize
+// kept consistent.
+func (c Config) WithWorkload(w workload.Workload) Config {
+	c.Workload = w
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("engine: need at least one client")
+	case c.DBSize < 2:
+		return fmt.Errorf("engine: database too small (%d)", c.DBSize)
+	case c.Period <= 0 || c.WindowIntervals <= 0:
+		return fmt.Errorf("engine: invalid broadcast schedule")
+	case c.DownlinkBps <= 0 || c.UplinkBps <= 0:
+		return fmt.Errorf("engine: invalid bandwidth")
+	case c.SimTime <= c.Period:
+		return fmt.Errorf("engine: horizon shorter than one broadcast period")
+	case c.Warmup < 0 || c.Warmup >= c.SimTime:
+		return fmt.Errorf("engine: warmup %v outside [0, SimTime)", c.Warmup)
+	case c.MeanThink <= 0 || c.MeanUpdate <= 0 || c.MeanDisc <= 0:
+		return fmt.Errorf("engine: invalid time constants")
+	case c.ProbDisc < 0 || c.ProbDisc > 1:
+		return fmt.Errorf("engine: invalid disconnection probability")
+	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
+		return fmt.Errorf("engine: invalid report loss probability")
+	case c.Workload.Query == nil || c.Workload.Update == nil:
+		return fmt.Errorf("engine: workload not set")
+	}
+	if _, err := core.Lookup(c.Scheme); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CacheCapacity reports the per-client buffer size in items (at least 1).
+func (c Config) CacheCapacity() int {
+	n := int(math.Round(c.BufferPct * float64(c.DBSize)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Violation is one stale cache read caught by the consistency checker.
+type Violation struct {
+	Client  int32
+	Item    int32
+	Served  int32
+	Correct int32
+	Tlb     float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("client %d served item %d version %d, but version at its Tlb %.3f was %d",
+		v.Client, v.Item, v.Served, v.Tlb, v.Correct)
+}
+
+// Results aggregates one run.
+type Results struct {
+	Config Config
+
+	// Headline metrics (the paper's two evaluation axes).
+	QueriesAnswered      int64
+	UplinkValidationBits float64
+	UplinkBitsPerQuery   float64
+	ValidationUplinkMsgs int64
+	// ThroughputCI95 is the batch-means 95% half-width on the
+	// per-interval completion rate, scaled to the whole measured span —
+	// a within-run error bar on QueriesAnswered.
+	ThroughputCI95 float64
+
+	// Cache behaviour.
+	CacheHits, CacheMisses int64
+	HitRatio               float64
+	Drops, Salvages        int64
+
+	// Report traffic.
+	ReportsSent map[string]int64
+	ReportBits  map[string]float64
+	IROverruns  int64
+
+	// Channel accounting (bits accepted per class).
+	DownReportBits, DownControlBits, DownDataBits float64
+	UpControlBits, UpDataBits                     float64
+	DownUtilization, UpUtilization                float64
+
+	// Client behaviour.
+	ReportsLost               int64
+	MeanResponse, MaxResponse float64
+	// Response-time percentiles from a shared histogram (approximate;
+	// responses beyond the histogram range clamp to its upper bound).
+	RespP50, RespP95, RespP99 float64
+	Disconnections            int64
+	MeanDisconnectedFor       float64
+	ItemsFromCache            int64
+	ItemsFetched              int64
+	StaleValidityDropped      int64
+
+	// MeasuredTime is the span statistics cover (SimTime - Warmup).
+	MeasuredTime float64
+
+	// Engine health.
+	Events                uint64
+	ConsistencyViolations int64
+	FirstViolation        *Violation
+}
+
+// Run executes the simulation described by c.
+func Run(c Config) (*Results, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	scheme, err := core.Lookup(c.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	params := core.Params{
+		N: c.DBSize,
+		L: c.Period,
+		W: c.WindowIntervals,
+		Rep: report.Params{
+			N:          c.DBSize,
+			TSBits:     c.TSBits,
+			HeaderBits: c.HeaderBits,
+		},
+	}
+
+	k := sim.New()
+	defer k.Shutdown()
+	root := rng.New(c.Seed)
+	d := db.New(c.DBSize, c.ConsistencyCheck)
+	down := netsim.NewChannel(k, "downlink", c.DownlinkBps)
+	up := netsim.NewChannel(k, "uplink", c.UplinkBps)
+
+	srv := server.New(k, d, down, server.Config{
+		Scheme:                 scheme.NewServer(params),
+		Params:                 params,
+		ItemBits:               c.ItemBits,
+		UpdateAccess:           c.Workload.Update,
+		UpdateItems:            c.Workload.UpdateItems,
+		MeanUpdateInterarrival: c.MeanUpdate,
+		Tracer:                 c.Trace,
+	}, root.Split(0))
+
+	res := &Results{
+		Config:      c,
+		ReportsSent: make(map[string]int64),
+		ReportBits:  make(map[string]float64),
+	}
+	var hook func(clientID, itemID, version int32, tlb float64)
+	if c.ConsistencyCheck {
+		hook = func(clientID, itemID, version int32, tlb float64) {
+			correct := d.VersionAt(itemID, tlb)
+			if version < correct {
+				res.ConsistencyViolations++
+				if res.FirstViolation == nil {
+					res.FirstViolation = &Violation{
+						Client: clientID, Item: itemID,
+						Served: version, Correct: correct, Tlb: tlb,
+					}
+				}
+			}
+		}
+	}
+
+	respHist := stats.NewHistogram(0, 4*c.MeanThink+40*c.Period, 512)
+
+	side := scheme.NewClient(params)
+	clients := make([]*client.Client, c.Clients)
+	for i := range clients {
+		cl := client.New(k, up, srv, client.Config{
+			ID:               int32(i),
+			Side:             side,
+			Params:           params,
+			CacheCapacity:    c.CacheCapacity(),
+			QueryAccess:      c.Workload.Query,
+			QueryItems:       c.Workload.QueryItems,
+			MeanThink:        c.MeanThink,
+			ProbDisc:         c.ProbDisc,
+			MeanDisc:         c.MeanDisc,
+			DiscPerInterval:  c.DiscPerInterval,
+			FetchRequestBits: c.ControlMsgBits,
+			ConsistencyHook:  hook,
+			RespHist:         respHist,
+			Tracer:           c.Trace,
+			ReportLossProb:   c.ReportLossProb,
+		}, root.Split(1000+uint64(i)))
+		clients[i] = cl
+		srv.Attach(cl)
+		cl.Start()
+	}
+	srv.Start()
+
+	// Batch-means sampler: per-interval query completions, batched into
+	// 50-interval groups for an (approximately independent) CI.
+	batch := stats.NewBatchMeans(50)
+	var prevCompleted int64
+	var sampleTick func()
+	sampleTick = func() {
+		var total int64
+		for _, cl := range clients {
+			total += cl.QueriesAnswered
+		}
+		batch.Observe(float64(total - prevCompleted))
+		prevCompleted = total
+		if k.Now()+c.Period <= c.SimTime {
+			k.Schedule(c.Period, sampleTick)
+		}
+	}
+	k.At(c.Period, sampleTick)
+
+	if c.Warmup > 0 {
+		k.At(c.Warmup, func() {
+			for _, cl := range clients {
+				cl.ResetStats()
+			}
+			srv.ResetStats()
+			down.ResetStats()
+			up.ResetStats()
+			*respHist = *stats.NewHistogram(respHist.Lo, respHist.Hi, respHist.Bins())
+			// Restart the batch-means sampler from the warmed-up state.
+			prevCompleted = 0
+			batch = stats.NewBatchMeans(50)
+		})
+	}
+
+	k.Run(c.SimTime)
+	measured := c.SimTime - c.Warmup
+	res.MeasuredTime = measured
+
+	// Collect.
+	var resp stats.Tally
+	for _, cl := range clients {
+		res.QueriesAnswered += cl.QueriesAnswered
+		res.UplinkValidationBits += cl.ValidationUplinkBits
+		res.ValidationUplinkMsgs += cl.ValidationUplinkMsgs
+		res.CacheHits += cl.State().Cache.Hits()
+		res.CacheMisses += cl.State().Cache.Misses()
+		res.Drops += cl.State().Drops
+		res.Salvages += cl.State().Salvages
+		res.Disconnections += cl.Disconnections
+		res.MeanDisconnectedFor += cl.DisconnectedFor
+		res.ItemsFromCache += cl.ItemsFromCache
+		res.ItemsFetched += cl.ItemsRequested
+		res.ReportsLost += cl.ReportsLost
+		res.StaleValidityDropped += cl.StaleValidityDropped
+		if cl.RespTime.N() > 0 {
+			resp.Observe(cl.RespTime.Mean())
+			if cl.RespTime.Max() > res.MaxResponse {
+				res.MaxResponse = cl.RespTime.Max()
+			}
+		}
+	}
+	if res.Disconnections > 0 {
+		res.MeanDisconnectedFor /= float64(res.Disconnections)
+	}
+	res.MeanResponse = resp.Mean()
+	if res.QueriesAnswered > 0 {
+		res.UplinkBitsPerQuery = res.UplinkValidationBits / float64(res.QueriesAnswered)
+	}
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.HitRatio = float64(res.CacheHits) / float64(total)
+	}
+	for kind, n := range srv.ReportsSent {
+		res.ReportsSent[kind.String()] = n
+	}
+	for kind, bits := range srv.ReportBits {
+		res.ReportBits[kind.String()] = bits
+	}
+	res.IROverruns = srv.IROverruns
+	res.DownReportBits = down.Bits(netsim.ClassReport)
+	res.DownControlBits = down.Bits(netsim.ClassControl)
+	res.DownDataBits = down.Bits(netsim.ClassData)
+	res.UpControlBits = up.Bits(netsim.ClassControl)
+	res.UpDataBits = up.Bits(netsim.ClassData)
+	res.DownUtilization = down.Utilization(measured)
+	res.UpUtilization = up.Utilization(measured)
+	if batch.Batches() >= 2 {
+		intervals := measured / c.Period
+		res.ThroughputCI95 = batch.CI95() * intervals
+	}
+	res.RespP50 = respHist.Quantile(0.50)
+	res.RespP95 = respHist.Quantile(0.95)
+	res.RespP99 = respHist.Quantile(0.99)
+	res.Events = k.Executed()
+	return res, nil
+}

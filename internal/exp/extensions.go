@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"mobicache/internal/engine"
+	"mobicache/internal/workload"
+)
+
+// Extension experiments beyond the paper's evaluation: ablations of the
+// design choices DESIGN.md calls out, and studies of the SIG scheme and
+// skewed workloads. They use the same sweep/figure machinery, so
+// cmd/experiments can render and export them identically.
+
+// AllSchemes includes the §2 building blocks and the SIG extension.
+var AllSchemes = []string{"aaw", "afw", "ts-check", "bs", "ts", "at", "sig"}
+
+// ExtensionSweeps are the run families behind the extension figures.
+var ExtensionSweeps = map[string]*Sweep{
+	// Window-size ablation: the fixed window w is the knob the paper's
+	// whole motivation turns on — too small drops caches, too large
+	// bloats every report.
+	"ext-window": {
+		ID: "ext-window", XLabel: "Window w (intervals)",
+		Xs:      []float64{2, 5, 10, 20, 40, 80},
+		Schemes: []string{"aaw", "afw", "ts-check", "ts"},
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.WindowIntervals = int(x)
+			c.ProbDisc = 0.2
+			c.MeanDisc = 1000
+			return c
+		},
+	},
+	// Sleeper stress: mean disconnection length far past the window,
+	// where the schemes' salvage machinery differs most.
+	"ext-sleepers": {
+		ID: "ext-sleepers", XLabel: "Mean Disconnection Time (s)",
+		Xs:      []float64{1000, 2000, 4000, 8000, 16000},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ProbDisc = 0.3
+			c.MeanDisc = x
+			return c
+		},
+	},
+	// Query skew: Zipf exponent sweep (theta 0 is uniform).
+	"ext-zipf": {
+		ID: "ext-zipf", XLabel: "Zipf theta",
+		Xs: []float64{0, 0.4, 0.8, 0.95, 1.2},
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.Workload = workload.Zipf(c.DBSize, x)
+			c.MeanDisc = 400
+			return c
+		},
+	},
+	// Disconnection-model ablation: the per-broadcast-boundary reading
+	// of Table 1's "prob. of client disc. per interval".
+	"ext-discmodel": {
+		ID: "ext-discmodel", XLabel: "Probability of Disconnection",
+		Xs: probs(),
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.DiscPerInterval = true
+			c.ProbDisc = x
+			c.MeanDisc = 400
+			return c
+		},
+	},
+	// Broadcast-period ablation: L trades report freshness against
+	// overhead and query latency.
+	"ext-period": {
+		ID: "ext-period", XLabel: "Broadcast Period L (s)",
+		Xs: []float64{5, 10, 20, 40, 80},
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.Period = x
+			c.MeanDisc = 400
+			return c
+		},
+	},
+}
+
+// Extensions are rendered like figures; IDs are stable names rather than
+// paper numbers.
+var Extensions = []Figure{
+	{ID: "ext-window-thr", Title: "ABLATION: throughput vs window size", Sweep: ExtensionSweeps["ext-window"], Metric: Throughput},
+	{ID: "ext-window-upl", Title: "ABLATION: uplink cost vs window size", Sweep: ExtensionSweeps["ext-window"], Metric: UplinkPerQuery},
+	{ID: "ext-sleepers-thr", Title: "EXTENSION: throughput vs sleep length, all schemes", Sweep: ExtensionSweeps["ext-sleepers"], Metric: Throughput},
+	{ID: "ext-zipf-thr", Title: "EXTENSION: throughput vs query skew", Sweep: ExtensionSweeps["ext-zipf"], Metric: Throughput},
+	{ID: "ext-discmodel-thr", Title: "ABLATION: per-interval disconnection model", Sweep: ExtensionSweeps["ext-discmodel"], Metric: Throughput},
+	{ID: "ext-period-thr", Title: "ABLATION: throughput vs broadcast period", Sweep: ExtensionSweeps["ext-period"], Metric: Throughput},
+}
+
+// ExtensionByID finds an extension figure definition.
+func ExtensionByID(id string) (Figure, error) {
+	for _, f := range Extensions {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, errUnknown(id)
+}
+
+func errUnknown(id string) error {
+	return &unknownFigureError{id: id}
+}
+
+type unknownFigureError struct{ id string }
+
+func (e *unknownFigureError) Error() string { return "exp: unknown figure " + e.id }

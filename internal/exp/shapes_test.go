@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+// These tests pin the paper's qualitative claims as regression guards:
+// if a change to the schemes or the engine breaks a headline result of
+// the evaluation, a test fails — not just a number in EXPERIMENTS.md.
+// Horizons are shortened (20000 s) but long enough for every shape.
+
+func runAt(t *testing.T, s *Sweep, x float64, scheme string) *engine.Results {
+	t.Helper()
+	c := s.Configure(x)
+	c.Scheme = scheme
+	c.SimTime = 20000
+	r, err := engine.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Paper Figure 5: BS throughput collapses as the database grows; the
+// other three degrade mildly; AAW stays above AFW.
+func TestShapeFig5BSCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	s := Sweeps["uniform-dbsize"]
+	small := map[string]int64{}
+	large := map[string]int64{}
+	for _, scheme := range EvaluatedSchemes {
+		small[scheme] = runAt(t, s, 1000, scheme).QueriesAnswered
+		large[scheme] = runAt(t, s, 80000, scheme).QueriesAnswered
+	}
+	if large["bs"]*3 > small["bs"] {
+		t.Fatalf("bs did not collapse: %d -> %d", small["bs"], large["bs"])
+	}
+	for _, scheme := range []string{"aaw", "afw", "ts-check"} {
+		if large[scheme]*10 < small[scheme]*8 { // at most ~20% degradation
+			t.Fatalf("%s degraded too much: %d -> %d", scheme, small[scheme], large[scheme])
+		}
+	}
+	if large["aaw"] <= large["afw"] {
+		t.Fatalf("aaw (%d) not above afw (%d) at N=80000 (Fig 5 ordering)",
+			large["aaw"], large["afw"])
+	}
+	if large["bs"] >= large["afw"] {
+		t.Fatalf("bs (%d) not worst at N=80000", large["bs"])
+	}
+}
+
+// Paper Figure 6: the checking scheme's uplink cost grows with database
+// size; the adaptives' stays flat and far below it; BS sends nothing.
+func TestShapeFig6UplinkGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	s := Sweeps["uniform-dbsize"]
+	tsSmall := runAt(t, s, 1000, "ts-check").UplinkBitsPerQuery
+	tsLarge := runAt(t, s, 40000, "ts-check").UplinkBitsPerQuery
+	if tsLarge < tsSmall*3 {
+		t.Fatalf("ts-check uplink did not grow with N: %v -> %v", tsSmall, tsLarge)
+	}
+	aawSmall := runAt(t, s, 1000, "aaw").UplinkBitsPerQuery
+	aawLarge := runAt(t, s, 40000, "aaw").UplinkBitsPerQuery
+	if aawLarge > aawSmall*2 || aawLarge > tsLarge/5 {
+		t.Fatalf("aaw uplink not flat and low: %v -> %v (ts-check %v)",
+			aawSmall, aawLarge, tsLarge)
+	}
+	if bs := runAt(t, s, 1000, "bs").UplinkBitsPerQuery; bs != 0 {
+		t.Fatalf("bs uplink = %v", bs)
+	}
+}
+
+// Paper Figure 8: validation uplink rises with disconnection frequency
+// for every non-BS scheme.
+func TestShapeFig8UplinkVsProbDisc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	s := Sweeps["uniform-probdisc"]
+	for _, scheme := range []string{"aaw", "afw", "ts-check"} {
+		lo := runAt(t, s, 0.1, scheme).UplinkBitsPerQuery
+		hi := runAt(t, s, 0.8, scheme).UplinkBitsPerQuery
+		if hi < lo*2 {
+			t.Fatalf("%s uplink did not rise with p: %v -> %v", scheme, lo, hi)
+		}
+	}
+}
+
+// Paper Figure 11: HOTCOLD throughput dips when the cache (2% of N) is
+// smaller than the hot region, then recovers.
+func TestShapeFig11HotColdHump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	s := Sweeps["hotcold-dbsize"]
+	tiny := runAt(t, s, 1000, "aaw").QueriesAnswered // 20-item cache < 100 hot
+	mid := runAt(t, s, 10000, "aaw").QueriesAnswered // 200-item cache > 100 hot
+	if mid < tiny*2 {
+		t.Fatalf("no hump: N=1000 %d vs N=10000 %d", tiny, mid)
+	}
+}
+
+// Paper Figures 15/16: with a starved uplink the adaptives beat the
+// checking scheme; with a generous uplink the checking scheme is at
+// least on par.
+func TestShapeFig15Crossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	s := Sweeps["uniform-uplink"]
+	aawLow := runAt(t, s, 200, "aaw").QueriesAnswered
+	tsLow := runAt(t, s, 200, "ts-check").QueriesAnswered
+	if aawLow <= tsLow {
+		t.Fatalf("at 200 b/s uplink aaw (%d) not above ts-check (%d)", aawLow, tsLow)
+	}
+	aawHigh := runAt(t, s, 1000, "aaw").QueriesAnswered
+	tsHigh := runAt(t, s, 1000, "ts-check").QueriesAnswered
+	if tsHigh*100 < aawHigh*99 {
+		t.Fatalf("at 1000 b/s ts-check (%d) fell well below aaw (%d)", tsHigh, aawHigh)
+	}
+}

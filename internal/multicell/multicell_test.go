@@ -1,0 +1,139 @@
+package multicell
+
+import (
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+func shortConfig() Config {
+	c := DefaultConfig()
+	c.Base.SimTime = 6000
+	c.Base.MeanDisc = 400
+	c.Base.ProbDisc = 0.4
+	c.Base.ConsistencyCheck = true
+	return c
+}
+
+func mustRun(t *testing.T, c Config) *Results {
+	t.Helper()
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMulticellRunsAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"ts", "ts-check", "bs", "afw", "aaw", "sig"} {
+		c := shortConfig()
+		c.Base.Scheme = scheme
+		r := mustRun(t, c)
+		if r.QueriesAnswered == 0 {
+			t.Fatalf("%s: no queries answered", scheme)
+		}
+		if r.Handoffs == 0 {
+			t.Fatalf("%s: no handoffs despite mobility", scheme)
+		}
+		// The paper-level guarantee must survive mobility: no stale reads
+		// even when Tlb refers to another cell's reports.
+		if r.ConsistencyViolations != 0 {
+			t.Fatalf("%s: %d stale reads after handoffs; first: %v",
+				scheme, r.ConsistencyViolations, r.FirstViolation)
+		}
+	}
+}
+
+func TestMulticellDeterminism(t *testing.T) {
+	c := shortConfig()
+	a := mustRun(t, c)
+	b := mustRun(t, c)
+	if a.QueriesAnswered != b.QueriesAnswered || a.Handoffs != b.Handoffs {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d",
+			a.QueriesAnswered, a.Handoffs, b.QueriesAnswered, b.Handoffs)
+	}
+}
+
+func TestMulticellCapacityScales(t *testing.T) {
+	// Four cells provide four downlinks: total throughput should well
+	// exceed a single saturated cell with the same population.
+	single := engine.Default()
+	single.SimTime = 6000
+	single.MeanDisc = 400
+	rs, err := engine.Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := shortConfig()
+	multi.Base.MeanDisc = 400
+	multi.Base.ProbDisc = 0.1
+	rm := mustRun(t, multi)
+	if rm.QueriesAnswered < rs.QueriesAnswered*2 {
+		t.Fatalf("4 cells answered %d, single cell %d: capacity did not scale",
+			rm.QueriesAnswered, rs.QueriesAnswered)
+	}
+	if len(rm.PerCell) != 4 {
+		t.Fatalf("per-cell stats = %d", len(rm.PerCell))
+	}
+	for i, cs := range rm.PerCell {
+		if cs.QueriesAnswered == 0 {
+			t.Fatalf("cell %d answered nothing", i)
+		}
+	}
+}
+
+func TestMulticellNoMobility(t *testing.T) {
+	c := shortConfig()
+	c.MoveProb = 0
+	r := mustRun(t, c)
+	if r.Handoffs != 0 {
+		t.Fatalf("handoffs = %d with MoveProb 0", r.Handoffs)
+	}
+}
+
+func TestMulticellSingleCellDegenerate(t *testing.T) {
+	c := shortConfig()
+	c.Cells = 1
+	c.MoveProb = 0.5 // nowhere to go
+	r := mustRun(t, c)
+	if r.Handoffs != 0 {
+		t.Fatalf("handoffs = %d in a single cell", r.Handoffs)
+	}
+	if r.QueriesAnswered == 0 {
+		t.Fatal("no queries")
+	}
+}
+
+func TestMulticellValidation(t *testing.T) {
+	c := shortConfig()
+	c.Cells = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	c = shortConfig()
+	c.MoveProb = 2
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad move probability accepted")
+	}
+	c = shortConfig()
+	c.Base.Scheme = "bogus"
+	if _, err := Run(c); err == nil {
+		t.Fatal("bogus scheme ran")
+	}
+}
+
+func TestMulticellMobilityCostsAdaptivesLittle(t *testing.T) {
+	// Handoffs look like long disconnections to the schemes; the adaptive
+	// methods must keep salvaging (not dropping) across them.
+	c := shortConfig()
+	c.Base.Scheme = "aaw"
+	c.Base.MeanDisc = 1000 // well past the window
+	c.MoveProb = 1         // every disconnection is a handoff
+	r := mustRun(t, c)
+	if r.Handoffs == 0 {
+		t.Fatal("no handoffs")
+	}
+	if r.Salvages == 0 {
+		t.Fatal("aaw never salvaged across handoffs")
+	}
+}

@@ -1,0 +1,144 @@
+// Package netsim models the wireless link of a single cell: one shared
+// broadcast downlink from the mobile support station to all clients and
+// one shared uplink from the clients to the station.
+//
+// Each channel is a single server whose service time is message size in
+// bits divided by bandwidth in bits per second. Following the paper's §4
+// network model, traffic is split into three priority classes —
+// invalidation reports highest, validity-checking control traffic next,
+// and everything else FCFS — and the report class preempts so that
+// invalidation reports always begin transmission exactly on the broadcast
+// period boundary.
+package netsim
+
+import (
+	"fmt"
+
+	"mobicache/internal/sim"
+)
+
+// Class is a traffic priority class.
+type Class int
+
+// Priority classes, ordered low to high.
+const (
+	// ClassData carries data items and fetch requests (lowest priority,
+	// FCFS).
+	ClassData Class = iota
+	// ClassControl carries validity-checking requests, validity reports
+	// and Tlb feedback.
+	ClassControl
+	// ClassReport carries periodic invalidation reports; it preempts
+	// lower classes.
+	ClassReport
+	numClasses
+)
+
+// String names the class for reports and traces.
+func (c Class) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassControl:
+		return "control"
+	case ClassReport:
+		return "report"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Channel is a shared wireless channel.
+type Channel struct {
+	name string
+	k    *sim.Kernel
+	fac  *sim.Facility
+	bw   float64 // bits per second
+
+	bits     [numClasses]float64
+	messages [numClasses]int64
+}
+
+// NewChannel creates a channel with the given bandwidth in bits/second.
+// Bandwidth must be positive.
+func NewChannel(k *sim.Kernel, name string, bitsPerSecond float64) *Channel {
+	if bitsPerSecond <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Channel{
+		name: name,
+		k:    k,
+		fac:  sim.NewFacility(k, name),
+		bw:   bitsPerSecond,
+	}
+}
+
+// Name reports the channel label.
+func (c *Channel) Name() string { return c.name }
+
+// Bandwidth reports the channel bandwidth in bits/second.
+func (c *Channel) Bandwidth() float64 { return c.bw }
+
+// Send queues a message of the given size and class. onDelivered, if not
+// nil, fires when the last bit has been transmitted. The report class
+// preempts in-progress lower-class transmissions (preemptive-resume).
+func (c *Channel) Send(class Class, bits float64, onDelivered func()) {
+	if bits < 0 {
+		panic("netsim: negative message size")
+	}
+	if class < 0 || class >= numClasses {
+		panic("netsim: unknown class")
+	}
+	c.bits[class] += bits
+	c.messages[class]++
+	c.fac.Submit(&sim.FacilityRequest{
+		Priority: int(class),
+		Preempt:  class == ClassReport,
+		Duration: bits / c.bw,
+		OnDone:   onDelivered,
+	})
+}
+
+// ResetStats zeroes the per-class accounting and the underlying facility
+// statistics (measurement warmup). Queued messages remain queued.
+func (c *Channel) ResetStats() {
+	c.bits = [numClasses]float64{}
+	c.messages = [numClasses]int64{}
+	c.fac.ResetStats()
+}
+
+// TxTime reports how long a message of the given size occupies the channel.
+func (c *Channel) TxTime(bits float64) sim.Time { return bits / c.bw }
+
+// Bits reports the total bits accepted for transmission in a class
+// (including any message still in flight).
+func (c *Channel) Bits(class Class) float64 { return c.bits[class] }
+
+// Messages reports the number of messages accepted in a class.
+func (c *Channel) Messages(class Class) int64 { return c.messages[class] }
+
+// TotalBits reports bits accepted across all classes.
+func (c *Channel) TotalBits() float64 {
+	t := 0.0
+	for _, b := range c.bits {
+		t += b
+	}
+	return t
+}
+
+// Utilization reports busy fraction over elapsed simulated seconds.
+func (c *Channel) Utilization(elapsed sim.Time) float64 {
+	return c.fac.Utilization(elapsed)
+}
+
+// QueueLen reports messages waiting (excluding the one in transmission).
+func (c *Channel) QueueLen() int { return c.fac.QueueLen() }
+
+// MaxQueueLen reports the wait-queue high-water mark.
+func (c *Channel) MaxQueueLen() int { return c.fac.MaxQueueLen() }
+
+// Preemptions reports how many transmissions were interrupted by reports.
+func (c *Channel) Preemptions() int64 { return c.fac.Preemptions() }
+
+// Delivered reports completed transmissions across all classes.
+func (c *Channel) Delivered() int64 { return c.fac.Served() }

@@ -1,0 +1,194 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/sim"
+)
+
+func TestTransmissionTime(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 10000)
+	var done sim.Time
+	ch.Send(ClassData, 8192, func() { done = k.Now() })
+	k.Run(sim.EndOfTime)
+	if math.Abs(done-0.8192) > 1e-12 {
+		t.Fatalf("delivered at %v, want 0.8192", done)
+	}
+	if ch.TxTime(20000) != 2 {
+		t.Fatalf("TxTime = %v", ch.TxTime(20000))
+	}
+}
+
+func TestSharedChannelSerializes(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		ch.Send(ClassData, 1000, func() { times = append(times, k.Now()) })
+	}
+	k.Run(sim.EndOfTime)
+	for i, want := range []sim.Time{1, 2, 3} {
+		if math.Abs(times[i]-want) > 1e-12 {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+// A report submitted on a saturated channel must start immediately,
+// pausing the in-flight data message (paper: reports are always broadcast
+// exactly on the period boundary).
+func TestReportPreemptsData(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	var dataDone, reportDone sim.Time
+	ch.Send(ClassData, 10000, func() { dataDone = k.Now() })
+	k.Schedule(2, func() {
+		ch.Send(ClassReport, 1000, func() { reportDone = k.Now() })
+	})
+	k.Run(sim.EndOfTime)
+	if math.Abs(reportDone-3) > 1e-12 {
+		t.Fatalf("report done at %v, want 3", reportDone)
+	}
+	if math.Abs(dataDone-11) > 1e-12 {
+		t.Fatalf("data done at %v, want 11 (preemptive resume)", dataDone)
+	}
+	if ch.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", ch.Preemptions())
+	}
+}
+
+// Control traffic outranks data in the queue but does not preempt.
+func TestControlQueuesAheadOfData(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "up", 1000)
+	var order []string
+	ch.Send(ClassData, 3000, func() { order = append(order, "d1") })
+	ch.Send(ClassData, 3000, func() { order = append(order, "d2") })
+	k.Schedule(1, func() {
+		ch.Send(ClassControl, 1000, func() { order = append(order, "c") })
+	})
+	k.Run(sim.EndOfTime)
+	want := []string{"d1", "c", "d2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 10000)
+	ch.Send(ClassReport, 100, nil)
+	ch.Send(ClassReport, 200, nil)
+	ch.Send(ClassControl, 50, nil)
+	ch.Send(ClassData, 8192, nil)
+	k.Run(sim.EndOfTime)
+	if ch.Bits(ClassReport) != 300 || ch.Messages(ClassReport) != 2 {
+		t.Fatalf("report class: %v bits, %d msgs", ch.Bits(ClassReport), ch.Messages(ClassReport))
+	}
+	if ch.Bits(ClassControl) != 50 {
+		t.Fatalf("control bits = %v", ch.Bits(ClassControl))
+	}
+	if ch.TotalBits() != 300+50+8192 {
+		t.Fatalf("total = %v", ch.TotalBits())
+	}
+	if ch.Delivered() != 4 {
+		t.Fatalf("delivered = %d", ch.Delivered())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	ch.Send(ClassData, 5000, nil)
+	k.Run(10)
+	if u := ch.Utilization(10); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestZeroSizeMessage(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	fired := false
+	ch.Send(ClassData, 0, func() { fired = true })
+	k.Run(sim.EndOfTime)
+	if !fired {
+		t.Fatal("zero-size message not delivered")
+	}
+}
+
+func TestInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewChannel(sim.New(), "x", 0)
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewChannel(sim.New(), "x", 1).Send(ClassData, -1, nil)
+}
+
+func TestBadClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewChannel(sim.New(), "x", 1).Send(Class(9), 1, nil)
+}
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassControl.String() != "control" ||
+		ClassReport.String() != "report" {
+		t.Fatal("class names")
+	}
+	if Class(7).String() != "class(7)" {
+		t.Fatal("unknown class name")
+	}
+}
+
+func TestNameAndBandwidth(t *testing.T) {
+	ch := NewChannel(sim.New(), "uplink", 123)
+	if ch.Name() != "uplink" || ch.Bandwidth() != 123 {
+		t.Fatal("accessors")
+	}
+}
+
+// Periodic reports on a saturated channel: every report must complete
+// within its own period, and data drains only in the gaps.
+func TestPeriodicReportsOnSaturatedChannel(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	const L = 20.0
+	var reportDone []sim.Time
+	for i := 0; i < 100; i++ {
+		ch.Send(ClassData, 5000, nil) // 500s of demand: saturated
+	}
+	for i := 1; i <= 5; i++ {
+		at := sim.Time(i) * L
+		k.At(at, func() {
+			ch.Send(ClassReport, 2000, func() { reportDone = append(reportDone, k.Now()) })
+		})
+	}
+	k.Run(200)
+	if len(reportDone) != 5 {
+		t.Fatalf("reports delivered: %d", len(reportDone))
+	}
+	for i, done := range reportDone {
+		start := sim.Time(i+1) * L
+		if math.Abs(done-(start+2)) > 1e-9 {
+			t.Fatalf("report %d done at %v, want %v", i, done, start+2)
+		}
+	}
+}

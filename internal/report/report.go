@@ -1,0 +1,347 @@
+// Package report defines every message that crosses the wireless link for
+// cache-validity purposes: the three invalidation-report representations
+// (timestamp window, bit sequences, extended window with dummy record) and
+// the uplink/downlink control messages of the checking and adaptive
+// schemes.
+//
+// Each message knows its analytic size in bits, following the paper's §3
+// formulas (ids take ceil(log2 N) bits, timestamps take bT bits). Those
+// analytic sizes drive the channel model. Each message also has a real
+// bit-packed codec; the encoded length equals the analytic size plus a
+// small fixed framing overhead (kind tag and element counts), which the
+// codec tests pin down exactly.
+package report
+
+import (
+	"errors"
+	"fmt"
+
+	"mobicache/internal/bitio"
+	"mobicache/internal/bitseq"
+	"mobicache/internal/db"
+)
+
+// Params holds the size-model parameters.
+type Params struct {
+	// N is the database size; ids cost ceil(log2 N) bits.
+	N int
+	// TSBits is the timestamp width bT. The wire codecs always carry
+	// timestamps as 64-bit floats; set TSBits to 64 for bit-exact wire
+	// accounting, or smaller to mimic a more compact timestamp.
+	TSBits int
+	// HeaderBits is the fixed per-message envelope (message type,
+	// addressing) charged to uplink/downlink control messages.
+	HeaderBits int
+}
+
+// IDBits reports ceil(log2 N).
+func (p Params) IDBits() int { return bitio.BitsFor(p.N) }
+
+// DefaultParams returns the size model used throughout the experiments.
+func DefaultParams(n int) Params {
+	return Params{N: n, TSBits: 64, HeaderBits: 32}
+}
+
+// Kind discriminates report representations.
+type Kind uint8
+
+// Report kinds.
+const (
+	// KindTS is the timestamp-window report of the TS algorithm.
+	KindTS Kind = iota
+	// KindBS is the bit-sequences report.
+	KindBS
+	// KindTSExt is an enlarged-window TS report carrying the AAW dummy
+	// record.
+	KindTSExt
+	// KindAT is the amnesic-terminals report (ids only, last interval).
+	KindAT
+	// KindSIG is the combined-signatures report (Barbara–Imielinski SIG,
+	// implemented as an extension beyond the paper's evaluation set).
+	KindSIG
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTS:
+		return "TS"
+	case KindBS:
+		return "BS"
+	case KindTSExt:
+		return "TS+w'"
+	case KindAT:
+		return "AT"
+	case KindSIG:
+		return "SIG"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Report is a broadcast invalidation report.
+type Report interface {
+	// Kind identifies the representation.
+	Kind() Kind
+	// Time is the broadcast timestamp Ti.
+	Time() float64
+	// SizeBits is the analytic size under the paper's formulas.
+	SizeBits(p Params) int
+}
+
+// TSReport is the timestamp-window report: the broadcast time plus one
+// (id, last-update time) entry per item updated inside the window. When
+// Dummy is non-nil the window was enlarged beyond the default w and the
+// dummy record advertises the earliest Tlb the report can serve (AAW).
+type TSReport struct {
+	T float64
+	// WindowStart: the report covers exactly the updates after this time.
+	WindowStart float64
+	Entries     []db.UpdateEntry
+	Dummy       *DummyRecord
+}
+
+// DummyRecord is AAW's in-band window-enlargement marker: a reserved id
+// paired with the Tlb the enlarged window reaches back to.
+type DummyRecord struct {
+	Tlb float64
+}
+
+// Kind implements Report.
+func (r *TSReport) Kind() Kind {
+	if r.Dummy != nil {
+		return KindTSExt
+	}
+	return KindTS
+}
+
+// Time implements Report.
+func (r *TSReport) Time() float64 { return r.T }
+
+// SizeBits implements Report: bT for the broadcast timestamp plus
+// (log2 N + bT) per entry, plus one extra entry-sized dummy record when
+// the window is enlarged (paper §3.1-3.2).
+func (r *TSReport) SizeBits(p Params) int {
+	per := p.IDBits() + p.TSBits
+	size := p.TSBits + len(r.Entries)*per
+	if r.Dummy != nil {
+		size += per
+	}
+	return size
+}
+
+// BSReport wraps a bit-sequences structure.
+type BSReport struct {
+	T float64
+	S *bitseq.Structure
+}
+
+// Kind implements Report.
+func (r *BSReport) Kind() Kind { return KindBS }
+
+// Time implements Report.
+func (r *BSReport) Time() float64 { return r.T }
+
+// SizeBits implements Report: bT for the broadcast timestamp plus the
+// structure (≈ 2N bits + bT log2 N).
+func (r *BSReport) SizeBits(p Params) int { return p.TSBits + r.S.SizeBits(p.TSBits) }
+
+// ATReport is the amnesic-terminals report: only the ids updated during
+// the last broadcast interval, with no per-item timestamps.
+type ATReport struct {
+	T   float64
+	IDs []int32
+}
+
+// Kind implements Report.
+func (r *ATReport) Kind() Kind { return KindAT }
+
+// Time implements Report.
+func (r *ATReport) Time() float64 { return r.T }
+
+// SizeBits implements Report.
+func (r *ATReport) SizeBits(p Params) int { return p.TSBits + len(r.IDs)*p.IDBits() }
+
+// CheckRequest is the uplink message of the simple-checking scheme: the
+// reconnecting client uploads every cached id plus its last-report
+// timestamp, and the server answers with a ValidityReport.
+type CheckRequest struct {
+	Client int32
+	// Seq matches a reply to its request: a client that abandoned a check
+	// (e.g. by disconnecting mid-exchange) ignores stale replies.
+	Seq int64
+	Tlb float64
+	IDs []int32
+}
+
+// SizeBits reports envelope + Tlb + one id per cached item.
+func (m *CheckRequest) SizeBits(p Params) int {
+	return p.HeaderBits + p.TSBits + len(m.IDs)*p.IDBits()
+}
+
+// Feedback is the adaptive schemes' uplink message: just the client's
+// last-report timestamp.
+type Feedback struct {
+	Client int32
+	Tlb    float64
+}
+
+// SizeBits reports envelope + Tlb. This single timestamp replacing the
+// full cached-id upload is the paper's uplink saving.
+func (m *Feedback) SizeBits(p Params) int { return p.HeaderBits + p.TSBits }
+
+// ValidityReport answers a CheckRequest: bit i tells whether the i-th id
+// of the request is still valid as of T.
+type ValidityReport struct {
+	T      float64
+	Client int32
+	// Seq echoes the request's sequence number (part of the envelope).
+	Seq   int64
+	Valid []bool
+}
+
+// SizeBits reports envelope + timestamp + one bit per checked id.
+func (m *ValidityReport) SizeBits(p Params) int {
+	return p.HeaderBits + p.TSBits + len(m.Valid)
+}
+
+// ErrBadMessage reports a malformed encoded message.
+var ErrBadMessage = errors.New("report: malformed message")
+
+// Framing overheads added by the self-describing codecs on top of the
+// analytic sizes: a kind tag and, where needed, an element count.
+const (
+	kindTagBits = 3
+	countBits   = 24
+)
+
+// FramingBits reports the codec overhead for a report of kind k.
+func FramingBits(k Kind) int {
+	switch k {
+	case KindTS, KindTSExt, KindAT:
+		return kindTagBits + countBits
+	case KindSIG:
+		return kindTagBits + countBits + 8 // + the signature width field
+	case KindBS:
+		return kindTagBits
+	default:
+		return kindTagBits
+	}
+}
+
+// Encode serializes r with bit-exact field widths (timestamps are 64-bit
+// floats; use Params{TSBits: 64} for matching analytic sizes).
+func Encode(r Report, p Params, w *bitio.Writer) {
+	idBits := p.IDBits()
+	switch m := r.(type) {
+	case *TSReport:
+		w.WriteBits(uint64(m.Kind()), kindTagBits)
+		w.WriteFloat(m.T)
+		w.WriteBits(uint64(len(m.Entries)), countBits)
+		for _, e := range m.Entries {
+			w.WriteBits(uint64(e.ID), idBits)
+			w.WriteFloat(e.TS)
+		}
+		if m.Dummy != nil {
+			// The dummy record is a reserved id (all ones) + Tlb.
+			w.WriteBits((1<<idBits)-1, idBits)
+			w.WriteFloat(m.Dummy.Tlb)
+		}
+	case *BSReport:
+		w.WriteBits(uint64(KindBS), kindTagBits)
+		w.WriteFloat(m.T)
+		m.S.Encode(w)
+	case *ATReport:
+		w.WriteBits(uint64(KindAT), kindTagBits)
+		w.WriteFloat(m.T)
+		w.WriteBits(uint64(len(m.IDs)), countBits)
+		for _, id := range m.IDs {
+			w.WriteBits(uint64(id), idBits)
+		}
+	case *SIGReport:
+		encodeSIG(m, w)
+	default:
+		panic(fmt.Sprintf("report: cannot encode %T", r))
+	}
+}
+
+// Decode parses a report previously produced by Encode. The window-start
+// time of TS reports is not carried on the wire (clients derive it from
+// the protocol parameters), so it is zero in the result.
+func Decode(p Params, r *bitio.Reader) (Report, error) {
+	idBits := p.IDBits()
+	kindRaw, err := r.ReadBits(kindTagBits)
+	if err != nil {
+		return nil, err
+	}
+	switch Kind(kindRaw) {
+	case KindTS, KindTSExt:
+		t, err := r.ReadFloat()
+		if err != nil {
+			return nil, err
+		}
+		count, err := r.ReadBits(countBits)
+		if err != nil {
+			return nil, err
+		}
+		rep := &TSReport{T: t}
+		for i := uint64(0); i < count; i++ {
+			id, err := r.ReadBits(idBits)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := r.ReadFloat()
+			if err != nil {
+				return nil, err
+			}
+			rep.Entries = append(rep.Entries, db.UpdateEntry{ID: int32(id), TS: ts})
+		}
+		if Kind(kindRaw) == KindTSExt {
+			id, err := r.ReadBits(idBits)
+			if err != nil {
+				return nil, err
+			}
+			if id != (1<<idBits)-1 {
+				return nil, ErrBadMessage
+			}
+			tlb, err := r.ReadFloat()
+			if err != nil {
+				return nil, err
+			}
+			rep.Dummy = &DummyRecord{Tlb: tlb}
+		}
+		return rep, nil
+	case KindBS:
+		t, err := r.ReadFloat()
+		if err != nil {
+			return nil, err
+		}
+		s, err := bitseq.Decode(p.N, r)
+		if err != nil {
+			return nil, err
+		}
+		return &BSReport{T: t, S: s}, nil
+	case KindAT:
+		t, err := r.ReadFloat()
+		if err != nil {
+			return nil, err
+		}
+		count, err := r.ReadBits(countBits)
+		if err != nil {
+			return nil, err
+		}
+		rep := &ATReport{T: t}
+		for i := uint64(0); i < count; i++ {
+			id, err := r.ReadBits(idBits)
+			if err != nil {
+				return nil, err
+			}
+			rep.IDs = append(rep.IDs, int32(id))
+		}
+		return rep, nil
+	case KindSIG:
+		return decodeSIG(r)
+	default:
+		return nil, ErrBadMessage
+	}
+}

@@ -1,0 +1,112 @@
+package rng
+
+import "math"
+
+// IntDist is a distribution over non-negative integers, used for quantities
+// such as "data items referenced by a query" (Table 1 gives only means, so
+// the concrete distribution is pluggable).
+type IntDist interface {
+	// Draw samples one value using src.
+	Draw(src *Source) int
+	// Mean reports the distribution mean, used for documentation and
+	// sanity checks.
+	Mean() float64
+}
+
+// Fixed is the degenerate distribution that always returns N.
+type Fixed struct{ N int }
+
+// Draw implements IntDist.
+func (f Fixed) Draw(*Source) int { return f.N }
+
+// Mean implements IntDist.
+func (f Fixed) Mean() float64 { return float64(f.N) }
+
+// UniformInt is the uniform integer distribution on [Lo, Hi] inclusive.
+type UniformInt struct{ Lo, Hi int }
+
+// Draw implements IntDist.
+func (u UniformInt) Draw(src *Source) int { return src.IntRange(u.Lo, u.Hi) }
+
+// Mean implements IntDist.
+func (u UniformInt) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Geometric is the geometric distribution on {1, 2, ...} with the given
+// mean (success probability 1/Mean).
+type Geometric struct{ M float64 }
+
+// Draw implements IntDist.
+func (g Geometric) Draw(src *Source) int {
+	if g.M <= 1 {
+		return 1
+	}
+	p := 1 / g.M
+	// Inversion: ceil(log(1-U)/log(1-p)).
+	u := src.Float64()
+	n := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Mean implements IntDist.
+func (g Geometric) Mean() float64 {
+	if g.M <= 1 {
+		return 1
+	}
+	return g.M
+}
+
+// Zipf samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1)^Theta. It precomputes the CDF, so construction is O(N) and
+// sampling is O(log N). Used by the workload-skew ablation experiments.
+type Zipf struct {
+	cdf   []float64
+	theta float64
+}
+
+// NewZipf builds a Zipf distribution over n ranks with exponent theta.
+// It panics if n <= 0 or theta < 0.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if theta < 0 {
+		panic("rng: NewZipf with negative theta")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, theta: theta}
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Theta reports the skew exponent.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Draw samples a rank in [0, N).
+func (z *Zipf) Draw(src *Source) int {
+	u := src.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,236 @@
+// Package server implements the mobile support station of the simulation:
+// the single data server of paper §4. It owns the database, applies the
+// update stream (exponential interarrival, pattern-driven item choice),
+// broadcasts an invalidation report every L seconds on the downlink, and
+// answers uplink validity-control and data-fetch requests.
+package server
+
+import (
+	"mobicache/internal/core"
+	"mobicache/internal/db"
+	"mobicache/internal/netsim"
+	"mobicache/internal/report"
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+	"mobicache/internal/trace"
+	"mobicache/internal/workload"
+)
+
+// Receiver is the server's view of a mobile client. Broadcast deliveries
+// are fanned out to every connected receiver; validity replies and data
+// items are addressed to one.
+type Receiver interface {
+	// ID is the client identifier used in uplink messages.
+	ID() int32
+	// Connected reports whether the client is currently listening.
+	Connected() bool
+	// DeliverReport hands over a fully received invalidation report.
+	DeliverReport(r report.Report, now sim.Time)
+	// DeliverValidity hands over a validity reply.
+	DeliverValidity(v *report.ValidityReport, now sim.Time)
+	// DeliverItem hands over one fetched data item with the version and
+	// last-update timestamp it carried when transmission completed.
+	DeliverItem(id int32, version int32, ts float64, now sim.Time)
+}
+
+// Config carries the server-side parameters.
+type Config struct {
+	// Scheme is the invalidation method's server half.
+	Scheme core.ServerSide
+	// Params are the shared protocol constants.
+	Params core.Params
+	// ItemBits is the downlink cost of one data item.
+	ItemBits float64
+	// UpdateAccess picks the items touched by an update transaction.
+	UpdateAccess workload.Access
+	// UpdateItems is the per-transaction item count distribution.
+	UpdateItems rng.IntDist
+	// MeanUpdateInterarrival is the expected seconds between update
+	// transactions.
+	MeanUpdateInterarrival float64
+	// Tracer records protocol events when non-nil.
+	Tracer *trace.Tracer
+}
+
+// Server is the mobile support station.
+type Server struct {
+	cfg  Config
+	k    *sim.Kernel
+	db   *db.Database
+	down *netsim.Channel
+	rcv  map[int32]Receiver
+	all  []Receiver
+
+	updRNG *rng.Source
+
+	// Statistics.
+	ReportsSent   map[report.Kind]int64
+	ReportBits    map[report.Kind]float64
+	IROverruns    int64 // reports still in flight at the next period
+	lastIRDone    sim.Time
+	ChecksServed  int64
+	FeedbacksSeen int64
+	ItemsServed   int64
+}
+
+// New creates a server. updSeed feeds the update process RNG.
+func New(k *sim.Kernel, d *db.Database, down *netsim.Channel, cfg Config, updRNG *rng.Source) *Server {
+	return &Server{
+		cfg:         cfg,
+		k:           k,
+		db:          d,
+		down:        down,
+		rcv:         make(map[int32]Receiver),
+		updRNG:      updRNG,
+		ReportsSent: make(map[report.Kind]int64),
+		ReportBits:  make(map[report.Kind]float64),
+	}
+}
+
+// Attach registers a client as a broadcast receiver and uplink endpoint.
+func (s *Server) Attach(r Receiver) {
+	if _, dup := s.rcv[r.ID()]; dup {
+		panic("server: duplicate client id")
+	}
+	s.rcv[r.ID()] = r
+	s.all = append(s.all, r)
+}
+
+// Detach removes a client (it moved to another cell). Unknown ids are
+// ignored: a validity reply or fetch already queued for a departed client
+// is delivered into the void by the caller's choice, not an error here.
+func (s *Server) Detach(id int32) {
+	if _, ok := s.rcv[id]; !ok {
+		return
+	}
+	delete(s.rcv, id)
+	for i, r := range s.all {
+		if r.ID() == id {
+			s.all = append(s.all[:i], s.all[i+1:]...)
+			break
+		}
+	}
+}
+
+// Database exposes the server database (the engine's consistency checker
+// reads it).
+func (s *Server) Database() *db.Database { return s.db }
+
+// ResetStats zeroes the server's measurement counters (warmup boundary).
+func (s *Server) ResetStats() {
+	s.ReportsSent = make(map[report.Kind]int64)
+	s.ReportBits = make(map[report.Kind]float64)
+	s.IROverruns = 0
+	s.ChecksServed = 0
+	s.FeedbacksSeen = 0
+	s.ItemsServed = 0
+}
+
+// Start launches the update and broadcast processes.
+func (s *Server) Start() {
+	s.StartUpdates()
+	s.StartBroadcast()
+}
+
+// StartUpdates launches only the update process. In a multi-cell setup
+// the database is logically replicated: exactly one server applies the
+// update stream to the shared database and every cell broadcasts from it.
+func (s *Server) StartUpdates() {
+	s.k.Go("server-updates", s.updateLoop)
+}
+
+// StartBroadcast launches only the periodic report broadcaster.
+func (s *Server) StartBroadcast() {
+	s.k.Go("server-broadcast", s.broadcastLoop)
+}
+
+// updateLoop applies update transactions separated by exponential
+// interarrival times (paper §4).
+func (s *Server) updateLoop(p *sim.Proc) {
+	var scratch []int32
+	for {
+		p.Hold(s.updRNG.Exp(s.cfg.MeanUpdateInterarrival))
+		k := s.cfg.UpdateItems.Draw(s.updRNG)
+		scratch = s.cfg.UpdateAccess.Sample(s.updRNG, k, scratch[:0])
+		now := p.Now()
+		for _, id := range scratch {
+			s.db.Update(id, now)
+		}
+	}
+}
+
+// broadcastLoop emits one invalidation report at every multiple of L.
+// The report class preempts the downlink, so transmission always begins
+// exactly on the period boundary (paper §4's priority rule).
+func (s *Server) broadcastLoop(p *sim.Proc) {
+	for i := int64(1); ; i++ {
+		t := float64(i) * s.cfg.Params.L
+		p.HoldUntil(t)
+		if s.lastIRDone > t {
+			// The previous report is still being transmitted: the channel
+			// cannot start this one on time. Count it; the facility will
+			// queue it FIFO behind its predecessor.
+			s.IROverruns++
+		}
+		r := s.cfg.Scheme.BuildReport(s.db, t)
+		bits := float64(r.SizeBits(s.cfg.Params.Rep))
+		kind := r.Kind()
+		s.ReportsSent[kind]++
+		s.ReportBits[kind] += bits
+		s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ReportBroadcast,
+			Client: -1, A: int64(kind), B: int64(bits)})
+		s.lastIRDone = t + s.down.TxTime(bits)
+		s.down.Send(netsim.ClassReport, bits, func() {
+			now := s.k.Now()
+			for _, rc := range s.all {
+				if rc.Connected() {
+					rc.DeliverReport(r, now)
+				}
+			}
+		})
+	}
+}
+
+// OnControl is the uplink endpoint for validation messages; the channel
+// layer calls it when a client's control message finishes transmission.
+func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
+	if msg.Feedback != nil {
+		s.FeedbacksSeen++
+	}
+	v := s.cfg.Scheme.HandleControl(s.db, msg, now)
+	if v == nil {
+		return
+	}
+	s.ChecksServed++
+	rc, ok := s.rcv[v.Client]
+	if !ok {
+		panic("server: validity reply for unknown client")
+	}
+	bits := float64(v.SizeBits(s.cfg.Params.Rep))
+	s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValiditySent,
+		Client: -1, B: int64(bits)})
+	s.down.Send(netsim.ClassControl, bits, func() {
+		rc.DeliverValidity(v, s.k.Now())
+	})
+}
+
+// OnFetch is the uplink endpoint for data requests: it queues one
+// downlink transmission per requested item. Item payloads are stamped
+// with the version current when their transmission completes.
+func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
+	rc, ok := s.rcv[clientID]
+	if !ok {
+		panic("server: fetch from unknown client")
+	}
+	for _, id := range ids {
+		id := id
+		s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
+			s.ItemsServed++
+			ts := s.db.LastUpdate(id)
+			if ts < 0 {
+				ts = 0 // never updated: the initial version, valid forever
+			}
+			rc.DeliverItem(id, s.db.Version(id), ts, s.k.Now())
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import "container/heap"
+
+// FacilityRequest is one unit of service demanded from a Facility.
+type FacilityRequest struct {
+	// Priority orders the queue: higher-priority requests are served
+	// first; ties are FIFO.
+	Priority int
+	// Preempt lets this request interrupt a strictly lower-priority
+	// request already in service. The interrupted request resumes
+	// (preemptive-resume: only its remaining service time is left) ahead
+	// of later arrivals of its own priority.
+	Preempt bool
+	// Duration is the total service time required.
+	Duration Time
+	// OnStart fires each time service (re)starts, with the start time.
+	OnStart func(start Time)
+	// OnDone fires when the request completes service.
+	OnDone func()
+
+	remaining Time
+	seq       uint64
+	queueIdx  int
+	started   bool
+}
+
+type requestHeap []*FacilityRequest
+
+func (h requestHeap) Len() int { return len(h) }
+func (h requestHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h requestHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].queueIdx = i
+	h[j].queueIdx = j
+}
+func (h *requestHeap) Push(x any) {
+	r := x.(*FacilityRequest)
+	r.queueIdx = len(*h)
+	*h = append(*h, r)
+}
+func (h *requestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.queueIdx = -1
+	*h = old[:n-1]
+	return r
+}
+
+// Facility is a single server with a priority queue and optional
+// preemptive-resume service, equivalent to a CSIM facility. The
+// simulator's shared up- and downlink channels are facilities whose
+// service time is message size divided by bandwidth.
+type Facility struct {
+	k    *Kernel
+	name string
+
+	queue    requestHeap
+	cur      *FacilityRequest
+	curDone  *Event
+	curStart Time
+
+	busy       float64
+	served     int64
+	preempted  int64
+	maxQueue   int
+	reqCounter uint64
+}
+
+// NewFacility creates an idle facility.
+func NewFacility(k *Kernel, name string) *Facility {
+	return &Facility{k: k, name: name}
+}
+
+// Name reports the facility's label.
+func (f *Facility) Name() string { return f.name }
+
+// Busy reports accumulated service time.
+func (f *Facility) Busy() float64 { return f.busy }
+
+// Served reports the number of completed requests.
+func (f *Facility) Served() int64 { return f.served }
+
+// Preemptions reports how many times service was interrupted.
+func (f *Facility) Preemptions() int64 { return f.preempted }
+
+// QueueLen reports the number of waiting (not in-service) requests.
+func (f *Facility) QueueLen() int { return len(f.queue) }
+
+// MaxQueueLen reports the high-water mark of the wait queue.
+func (f *Facility) MaxQueueLen() int { return f.maxQueue }
+
+// InService returns the request currently being served, or nil.
+func (f *Facility) InService() *FacilityRequest { return f.cur }
+
+// Utilization reports busy time as a fraction of elapsed (0 if elapsed<=0).
+func (f *Facility) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := f.busy / elapsed
+	if f.cur != nil {
+		u += (f.k.now - f.curStart) / elapsed
+	}
+	return u
+}
+
+// ResetStats zeroes the facility's accumulated statistics at the current
+// simulated time (measurement warmup). An in-service request only counts
+// its remaining service toward the new measurement window.
+func (f *Facility) ResetStats() {
+	f.busy = 0
+	f.served = 0
+	f.preempted = 0
+	f.maxQueue = len(f.queue)
+	if f.cur != nil {
+		f.curStart = f.k.now
+	}
+}
+
+// Submit queues r for service. Requests must not be reused while queued or
+// in service. Zero-duration requests are legal and complete via a
+// zero-delay event so completion ordering stays deterministic.
+func (f *Facility) Submit(r *FacilityRequest) {
+	if r.Duration < 0 {
+		panic("sim: negative service duration")
+	}
+	f.reqCounter++
+	r.seq = f.reqCounter
+	r.remaining = r.Duration
+	r.started = false
+
+	if f.cur != nil && r.Preempt && r.Priority > f.cur.Priority {
+		f.preemptCurrent()
+	}
+	heap.Push(&f.queue, r)
+	if len(f.queue) > f.maxQueue {
+		f.maxQueue = len(f.queue)
+	}
+	f.dispatch()
+}
+
+// preemptCurrent suspends the in-service request, crediting the service it
+// already received, and returns it to the head of its priority class.
+func (f *Facility) preemptCurrent() {
+	cur := f.cur
+	served := f.k.now - f.curStart
+	cur.remaining -= served
+	if cur.remaining < 0 {
+		cur.remaining = 0
+	}
+	f.busy += served
+	f.k.Cancel(f.curDone)
+	f.cur, f.curDone = nil, nil
+	f.preempted++
+	// Re-queue with the original seq so it stays ahead of anything that
+	// arrived after it within the same priority class.
+	heap.Push(&f.queue, cur)
+}
+
+// dispatch starts the best queued request if the server is idle.
+func (f *Facility) dispatch() {
+	if f.cur != nil || len(f.queue) == 0 {
+		return
+	}
+	r := heap.Pop(&f.queue).(*FacilityRequest)
+	f.cur = r
+	f.curStart = f.k.now
+	if r.OnStart != nil {
+		r.OnStart(f.k.now)
+	}
+	r.started = true
+	f.curDone = f.k.Schedule(r.remaining, func() { f.complete(r) })
+}
+
+func (f *Facility) complete(r *FacilityRequest) {
+	f.busy += f.k.now - f.curStart
+	f.cur, f.curDone = nil, nil
+	f.served++
+	if r.OnDone != nil {
+		r.OnDone()
+	}
+	f.dispatch()
+}

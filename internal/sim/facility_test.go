@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacilityFIFO(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var done []int
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		f.Submit(&FacilityRequest{Duration: 10, OnDone: func() {
+			done = append(done, i)
+			times = append(times, k.Now())
+		}})
+	}
+	k.Run(EndOfTime)
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	for i, want := range []Time{10, 20, 30} {
+		if times[i] != want {
+			t.Fatalf("completion times = %v", times)
+		}
+	}
+	if f.Served() != 3 {
+		t.Fatalf("served = %d", f.Served())
+	}
+}
+
+func TestFacilityPriorityOrder(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var done []string
+	submit := func(name string, prio int) {
+		f.Submit(&FacilityRequest{Priority: prio, Duration: 5,
+			OnDone: func() { done = append(done, name) }})
+	}
+	// First request starts immediately; the rest queue and are served in
+	// priority order.
+	submit("first", 0)
+	submit("low", 0)
+	submit("high", 2)
+	submit("mid", 1)
+	k.Run(EndOfTime)
+	want := []string{"first", "high", "mid", "low"}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestFacilityPreemptiveResume(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var dataDone, irDone Time
+	starts := 0
+	f.Submit(&FacilityRequest{Priority: 0, Duration: 10,
+		OnStart: func(Time) { starts++ },
+		OnDone:  func() { dataDone = k.Now() }})
+	k.Schedule(4, func() {
+		f.Submit(&FacilityRequest{Priority: 2, Preempt: true, Duration: 3,
+			OnDone: func() { irDone = k.Now() }})
+	})
+	k.Run(EndOfTime)
+	if irDone != 7 {
+		t.Fatalf("preempting request finished at %v, want 7", irDone)
+	}
+	// Data had 6 of 10 seconds left; resumes at 7, finishes at 13.
+	if dataDone != 13 {
+		t.Fatalf("preempted request finished at %v, want 13", dataDone)
+	}
+	if starts != 2 {
+		t.Fatalf("OnStart fired %d times, want 2 (start + resume)", starts)
+	}
+	if f.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d", f.Preemptions())
+	}
+}
+
+func TestFacilityNoPreemptWithoutFlag(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var order []string
+	f.Submit(&FacilityRequest{Priority: 0, Duration: 10,
+		OnDone: func() { order = append(order, "data") }})
+	k.Schedule(1, func() {
+		f.Submit(&FacilityRequest{Priority: 5, Duration: 1,
+			OnDone: func() { order = append(order, "ctrl") }})
+	})
+	k.Run(EndOfTime)
+	if order[0] != "data" || order[1] != "ctrl" {
+		t.Fatalf("order = %v (non-preempt high priority should wait)", order)
+	}
+}
+
+func TestFacilityPreemptEqualPriorityDenied(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var order []string
+	f.Submit(&FacilityRequest{Priority: 1, Duration: 10, Preempt: true,
+		OnDone: func() { order = append(order, "a") }})
+	k.Schedule(1, func() {
+		f.Submit(&FacilityRequest{Priority: 1, Duration: 1, Preempt: true,
+			OnDone: func() { order = append(order, "b") }})
+	})
+	k.Run(EndOfTime)
+	if order[0] != "a" {
+		t.Fatalf("equal priority preempted: %v", order)
+	}
+}
+
+// The preempted request must resume before later arrivals of the same
+// priority class (preemptive-resume, not preempt-restart-at-back).
+func TestFacilityResumeBeforeLaterArrivals(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var order []string
+	f.Submit(&FacilityRequest{Priority: 0, Duration: 10,
+		OnDone: func() { order = append(order, "victim") }})
+	k.Schedule(2, func() {
+		f.Submit(&FacilityRequest{Priority: 1, Preempt: true, Duration: 4,
+			OnDone: func() { order = append(order, "ir") }})
+		f.Submit(&FacilityRequest{Priority: 0, Duration: 1,
+			OnDone: func() { order = append(order, "late") }})
+	})
+	k.Run(EndOfTime)
+	want := []string{"ir", "victim", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFacilityZeroDuration(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	fired := false
+	f.Submit(&FacilityRequest{Duration: 0, OnDone: func() { fired = true }})
+	if fired {
+		t.Fatal("zero-duration request completed synchronously")
+	}
+	k.Run(EndOfTime)
+	if !fired {
+		t.Fatal("zero-duration request never completed")
+	}
+}
+
+func TestFacilityNegativeDurationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k := New()
+	NewFacility(k, "x").Submit(&FacilityRequest{Duration: -1})
+}
+
+func TestFacilitySubmitFromOnDone(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	var times []Time
+	f.Submit(&FacilityRequest{Duration: 5, OnDone: func() {
+		times = append(times, k.Now())
+		f.Submit(&FacilityRequest{Duration: 5, OnDone: func() {
+			times = append(times, k.Now())
+		}})
+	}})
+	k.Run(EndOfTime)
+	if len(times) != 2 || times[0] != 5 || times[1] != 10 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestFacilityAccounting(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	f.Submit(&FacilityRequest{Duration: 30})
+	f.Submit(&FacilityRequest{Duration: 30})
+	k.Run(100)
+	if math.Abs(f.Busy()-60) > 1e-9 {
+		t.Fatalf("busy = %v", f.Busy())
+	}
+	if u := f.Utilization(100); math.Abs(u-0.6) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if f.Utilization(0) != 0 {
+		t.Fatal("utilization with zero elapsed")
+	}
+	if f.MaxQueueLen() != 1 {
+		t.Fatalf("max queue = %d", f.MaxQueueLen())
+	}
+}
+
+func TestFacilityUtilizationMidService(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	f.Submit(&FacilityRequest{Duration: 100})
+	k.Run(50)
+	if f.InService() == nil {
+		t.Fatal("request should still be in service")
+	}
+	if u := f.Utilization(50); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("mid-service utilization = %v, want 1", u)
+	}
+}
+
+// Saturation conservation: with demand exceeding capacity, busy time must
+// equal elapsed time (the channel never idles while work is queued).
+func TestFacilityWorkConservation(t *testing.T) {
+	k := New()
+	f := NewFacility(k, "link")
+	for i := 0; i < 50; i++ {
+		f.Submit(&FacilityRequest{Duration: 10})
+	}
+	k.Run(200)
+	if math.Abs(f.Utilization(200)-1) > 1e-9 {
+		t.Fatalf("saturated utilization = %v", f.Utilization(200))
+	}
+	if f.Served() != 20 {
+		t.Fatalf("served = %d, want 20 in 200s", f.Served())
+	}
+}
+
+func TestFacilityPreemptedWorkConserved(t *testing.T) {
+	// Total busy time must equal the sum of all durations even across
+	// preemptions (no service time lost or duplicated).
+	k := New()
+	f := NewFacility(k, "link")
+	total := 0.0
+	for i := 0; i < 5; i++ {
+		f.Submit(&FacilityRequest{Priority: 0, Duration: 7})
+		total += 7
+	}
+	for i := 0; i < 5; i++ {
+		d := Time(i)*6 + 3
+		k.At(d, func() {
+			f.Submit(&FacilityRequest{Priority: 1, Preempt: true, Duration: 2})
+		})
+		total += 2
+	}
+	k.Run(EndOfTime)
+	if math.Abs(f.Busy()-total) > 1e-9 {
+		t.Fatalf("busy = %v, want %v", f.Busy(), total)
+	}
+	if f.Served() != 10 {
+		t.Fatalf("served = %d", f.Served())
+	}
+}

@@ -1,0 +1,179 @@
+// Package sim is a deterministic discrete-event simulation kernel with
+// CSIM-style process semantics, standing in for the CSIM package the
+// paper's evaluation was built on.
+//
+// The kernel keeps an event calendar (a binary heap ordered by time and
+// then by scheduling sequence, so simultaneous events fire in the order
+// they were scheduled). Model logic can be written either as plain event
+// callbacks or as processes: goroutines that block in Hold and Wait calls
+// while the kernel runs exactly one of them at a time, handing control
+// back and forth over unbuffered channels. Because at most one goroutine
+// is ever runnable, execution is sequential and fully deterministic even
+// though the model code reads like straight-line concurrent Go.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// EndOfTime is later than any event the kernel will execute.
+const EndOfTime Time = math.MaxFloat64
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created by Kernel.Schedule and Kernel.At.
+type Event struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	heapIndex int // -1 when not queued
+}
+
+// Cancelled reports whether Cancel removed the event before it fired.
+func (e *Event) Cancelled() bool { return e.fn == nil && e.heapIndex == -1 }
+
+// Time reports the simulated time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.t }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.heapIndex = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIndex = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation executive. Create one with New, schedule events
+// or start processes, then call Run. A Kernel is single-threaded: all
+// model code runs on the kernel's goroutine or on exactly one process
+// goroutine at a time.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is the handoff channel processes use to return control to the
+	// kernel; see Proc.
+	yield chan struct{}
+	// kill, when closed by Shutdown, unblocks every parked process
+	// goroutine so finished simulations do not leak goroutines.
+	kill chan struct{}
+
+	procs    atomic.Int64 // live processes, for leak diagnostics
+	executed uint64
+}
+
+// New creates an empty kernel at time 0.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{}), kill: make(chan struct{})}
+}
+
+// Shutdown releases all parked process goroutines. Call it once after the
+// final Run; the kernel must not be used afterwards.
+func (k *Kernel) Shutdown() {
+	select {
+	case <-k.kill:
+		return // already shut down
+	default:
+	}
+	close(k.kill)
+}
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed reports how many events have fired, a cheap progress metric.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule queues fn to run delay seconds from now and returns a handle
+// that can be cancelled. It panics on a negative delay.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t (>= Now) and returns a handle.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.seq++
+	e := &Event{t: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Cancel removes e from the calendar if it has not fired. It is safe to
+// cancel an event twice or after it fired; those calls do nothing.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.heapIndex < 0 {
+		return
+	}
+	heap.Remove(&k.events, e.heapIndex)
+	e.fn = nil
+	e.heapIndex = -1
+}
+
+// Step fires the next event, advancing time. It reports false when the
+// calendar is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	if e.t < k.now {
+		panic("sim: calendar corrupted (time moved backwards)")
+	}
+	k.now = e.t
+	fn := e.fn
+	e.fn = nil
+	k.executed++
+	fn()
+	return true
+}
+
+// Run fires events until the calendar empties or the next event lies
+// beyond until; time then advances to until (or stays at the last event).
+// Events exactly at until are executed.
+func (k *Kernel) Run(until Time) {
+	for len(k.events) > 0 && k.events[0].t <= until {
+		k.Step()
+	}
+	if k.now < until && until != EndOfTime {
+		k.now = until
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import "runtime"
+
+// Proc is a simulated process: a goroutine that alternates with the kernel
+// via strict channel handoff, so at most one goroutine (kernel or a single
+// process) runs at any moment. Model code inside a process may call Hold
+// and Wait to advance simulated time; everything in between executes
+// atomically with respect to other simulated activity.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name reports the label given to Go, for diagnostics.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Go starts body as a new process at the current simulated time. The body
+// begins executing when the kernel reaches the activation event, i.e.
+// after the currently running event or process section completes.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs.Add(1)
+	go func() {
+		defer func() {
+			p.done = true
+			k.procs.Add(-1)
+			// Hand control back to the kernel unless we are being torn
+			// down (kill drains without a kernel on the other side).
+			select {
+			case k.yield <- struct{}{}:
+			case <-k.kill:
+			}
+		}()
+		select {
+		case <-p.resume:
+		case <-k.kill:
+			runtime.Goexit()
+		}
+		body(p)
+	}()
+	k.Schedule(0, func() { k.activate(p) })
+	return p
+}
+
+// Procs reports the number of live process goroutines.
+func (k *Kernel) Procs() int { return int(k.procs.Load()) }
+
+// activate transfers control to p and blocks until p parks again (or
+// finishes). It must be called from kernel context (an event callback).
+func (k *Kernel) activate(p *Proc) {
+	if p.done {
+		panic("sim: activating a finished process: " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// park yields control back to the kernel and blocks until reactivated.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.k.kill:
+		runtime.Goexit()
+	}
+}
+
+// Hold suspends the process for d simulated seconds.
+func (p *Proc) Hold(d Time) {
+	p.k.Schedule(d, func() { p.k.activate(p) })
+	p.park()
+}
+
+// HoldUntil suspends the process until absolute time t (no-op if t <= now).
+func (p *Proc) HoldUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.At(t, func() { p.k.activate(p) })
+	p.park()
+}
+
+// Wait parks the process on s until another activity calls Signal or
+// Broadcast.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Signal is a condition-style wakeup primitive for processes. Waiters are
+// resumed in FIFO order, each as its own zero-delay event, so wakeup
+// ordering is deterministic.
+type Signal struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewSignal creates a Signal bound to k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Waiting reports how many processes are parked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Broadcast wakes every waiter at the current simulated time.
+func (s *Signal) Broadcast() {
+	for _, p := range s.waiters {
+		proc := p
+		s.k.Schedule(0, func() { s.k.activate(proc) })
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (s *Signal) Signal() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	proc := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.k.Schedule(0, func() { s.k.activate(proc) })
+}

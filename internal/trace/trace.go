@@ -1,0 +1,186 @@
+// Package trace provides a lightweight event tracer for simulation runs:
+// a fixed-capacity ring buffer of typed events that the engine's server
+// and clients record when tracing is enabled. It exists for debugging and
+// for teaching — dumping the last few hundred events of a run shows the
+// protocol working (reports going out, feedback coming back, caches being
+// salvaged or dropped) without wading through full statistics.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// ReportBroadcast: the server started transmitting a report.
+	// A = report kind (report.Kind), B = size in bits.
+	ReportBroadcast Kind = iota
+	// ReportDelivered: a client finished receiving a report.
+	// A = report kind.
+	ReportDelivered
+	// ControlSent: a client queued a validation message uplink.
+	// A = 0 for a check request, 1 for Tlb feedback; B = size in bits.
+	ControlSent
+	// ValiditySent: the server answered a check. B = size in bits.
+	ValiditySent
+	// ItemDelivered: a fetched item reached its client. A = item id.
+	ItemDelivered
+	// QueryStart: a client generated a query. B = item count.
+	QueryStart
+	// QueryDone: a query completed. B = response time in microseconds.
+	QueryDone
+	// CacheDrop: a client discarded its whole cache.
+	CacheDrop
+	// CacheSalvage: a long-disconnected client kept (part of) its cache.
+	CacheSalvage
+	// Disconnect: a client powered down. B = planned sleep in microseconds.
+	Disconnect
+	// Reconnect: a client woke up.
+	Reconnect
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ReportBroadcast:
+		return "report-broadcast"
+	case ReportDelivered:
+		return "report-delivered"
+	case ControlSent:
+		return "control-sent"
+	case ValiditySent:
+		return "validity-sent"
+	case ItemDelivered:
+		return "item-delivered"
+	case QueryStart:
+		return "query-start"
+	case QueryDone:
+		return "query-done"
+	case CacheDrop:
+		return "cache-drop"
+	case CacheSalvage:
+		return "cache-salvage"
+	case Disconnect:
+		return "disconnect"
+	case Reconnect:
+		return "reconnect"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record. Client is -1 for server-side events. A and B
+// carry kind-specific integers (see the Kind constants); keeping them as
+// plain integers makes recording allocation-free.
+type Event struct {
+	T      float64
+	Kind   Kind
+	Client int32
+	A, B   int64
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	who := "server"
+	if e.Client >= 0 {
+		who = fmt.Sprintf("client %d", e.Client)
+	}
+	return fmt.Sprintf("%12.3f  %-17s %-10s A=%d B=%d", e.T, e.Kind, who, e.A, e.B)
+}
+
+// Tracer is a fixed-capacity ring of events. The zero value is a disabled
+// tracer that drops everything; create a live one with New. All methods
+// are safe on a nil receiver (recording to nil is a no-op), so model code
+// can call unconditionally.
+type Tracer struct {
+	buf   []Event
+	next  int
+	total uint64
+	mask  uint32
+}
+
+// New creates a tracer keeping the most recent capacity events, recording
+// every kind. Use Only to restrict kinds.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Tracer{buf: make([]Event, 0, capacity), mask: 1<<numKinds - 1}
+}
+
+// Only restricts recording to the given kinds and returns the tracer.
+func (t *Tracer) Only(kinds ...Kind) *Tracer {
+	t.mask = 0
+	for _, k := range kinds {
+		t.mask |= 1 << k
+	}
+	return t
+}
+
+// Enabled reports whether events of kind k are recorded.
+func (t *Tracer) Enabled(k Kind) bool {
+	return t != nil && t.mask&(1<<k) != 0
+}
+
+// Record stores an event (dropping the oldest when full). No-op on nil.
+func (t *Tracer) Record(e Event) {
+	if t == nil || t.mask&(1<<e.Kind) == 0 {
+		return
+	}
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// Total reports how many events were recorded (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteText renders the retained events, one per line.
+func (t *Tracer) WriteText(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns how many retained events have kind k.
+func (t *Tracer) Count(k Kind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

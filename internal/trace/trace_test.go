@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndOrder(t *testing.T) {
+	tr := New(10)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{T: float64(i), Kind: QueryStart, Client: int32(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 5 || tr.Total() != 5 {
+		t.Fatalf("events = %d total = %d", len(evs), tr.Total())
+	}
+	for i, e := range evs {
+		if e.T != float64(i) {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{T: float64(i), Kind: QueryDone})
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Total() != 10 {
+		t.Fatalf("len=%d total=%d", len(evs), tr.Total())
+	}
+	if evs[0].T != 7 || evs[2].T != 9 {
+		t.Fatalf("ring kept wrong window: %v", evs)
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	tr := New(10).Only(CacheDrop, CacheSalvage)
+	tr.Record(Event{Kind: QueryStart})
+	tr.Record(Event{Kind: CacheDrop})
+	tr.Record(Event{Kind: CacheSalvage})
+	if tr.Total() != 2 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if !tr.Enabled(CacheDrop) || tr.Enabled(QueryStart) {
+		t.Fatal("Enabled mask wrong")
+	}
+	if tr.Count(CacheDrop) != 1 {
+		t.Fatalf("count = %d", tr.Count(CacheDrop))
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{Kind: QueryStart}) // must not panic
+	if tr.Total() != 0 || tr.Events() != nil || tr.Enabled(QueryStart) {
+		t.Fatal("nil tracer misbehaved")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New(4)
+	tr.Record(Event{T: 20, Kind: ReportBroadcast, Client: -1, A: 1, B: 212})
+	tr.Record(Event{T: 20.5, Kind: ReportDelivered, Client: 3, A: 1})
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"report-broadcast", "server", "client 3", "B=212"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		ReportBroadcast: "report-broadcast", ReportDelivered: "report-delivered",
+		ControlSent: "control-sent", ValiditySent: "validity-sent",
+		ItemDelivered: "item-delivered", QueryStart: "query-start",
+		QueryDone: "query-done", CacheDrop: "cache-drop",
+		CacheSalvage: "cache-salvage", Disconnect: "disconnect", Reconnect: "reconnect",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d -> %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,168 @@
+// Package workload generates the query and update access patterns of the
+// paper's evaluation (Table 2): UNIFORM, where both queries and updates
+// draw items uniformly from the whole database, and HOTCOLD, where 80% of
+// every client's queries target the hot region (items 1..100) while
+// updates stay uniform. A Zipf pattern is included as an extension for
+// skew ablations.
+package workload
+
+import (
+	"fmt"
+
+	"mobicache/internal/rng"
+)
+
+// Access picks item ids for one operation (query or update transaction).
+type Access interface {
+	// Sample appends k distinct item ids to dst.
+	Sample(src *rng.Source, k int, dst []int32) []int32
+	// Name identifies the pattern in result tables.
+	Name() string
+}
+
+// UniformAccess draws uniformly from [0, N).
+type UniformAccess struct {
+	N int
+}
+
+// Name implements Access.
+func (u UniformAccess) Name() string { return "uniform" }
+
+// Sample implements Access.
+func (u UniformAccess) Sample(src *rng.Source, k int, dst []int32) []int32 {
+	if k > u.N {
+		k = u.N
+	}
+	return src.SampleDistinct(u.N, k, dst)
+}
+
+// HotColdAccess draws from a hot range [HotLo, HotHi] with probability
+// HotProb, otherwise from the rest of the database. Item ids follow the
+// paper's convention: the hot region is a contiguous id range.
+type HotColdAccess struct {
+	N            int
+	HotLo, HotHi int32 // inclusive id bounds of the hot region
+	HotProb      float64
+}
+
+// Name implements Access.
+func (h HotColdAccess) Name() string { return "hotcold" }
+
+func (h HotColdAccess) hotSize() int { return int(h.HotHi-h.HotLo) + 1 }
+
+// Sample implements Access. Each of the k items independently lands in
+// the hot or cold region; duplicates are rejected so the ids are distinct.
+func (h HotColdAccess) Sample(src *rng.Source, k int, dst []int32) []int32 {
+	if k > h.N {
+		k = h.N
+	}
+	start := len(dst)
+outer:
+	for len(dst)-start < k {
+		var id int32
+		if src.Bool(h.HotProb) {
+			id = h.HotLo + int32(src.Intn(h.hotSize()))
+		} else {
+			// Cold region: ids outside [HotLo, HotHi].
+			coldSize := h.N - h.hotSize()
+			if coldSize <= 0 {
+				id = h.HotLo + int32(src.Intn(h.hotSize()))
+			} else {
+				v := int32(src.Intn(coldSize))
+				if v >= h.HotLo {
+					v += int32(h.hotSize())
+				}
+				id = v
+			}
+		}
+		for _, prev := range dst[start:] {
+			if prev == id {
+				continue outer
+			}
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// ZipfAccess draws ids by Zipf-distributed popularity rank (extension).
+type ZipfAccess struct {
+	Z *rng.Zipf
+}
+
+// Name implements Access.
+func (z ZipfAccess) Name() string { return fmt.Sprintf("zipf(%.2f)", z.Z.Theta()) }
+
+// Sample implements Access.
+func (z ZipfAccess) Sample(src *rng.Source, k int, dst []int32) []int32 {
+	if k > z.Z.N() {
+		k = z.Z.N()
+	}
+	start := len(dst)
+outer:
+	for len(dst)-start < k {
+		id := int32(z.Z.Draw(src))
+		for _, prev := range dst[start:] {
+			if prev == id {
+				continue outer
+			}
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// Workload bundles the query- and update-side access patterns with the
+// operation size distributions of Table 1.
+type Workload struct {
+	// Name labels the workload in result tables.
+	Name string
+	// Query is the per-client query access pattern.
+	Query Access
+	// Update is the server update access pattern.
+	Update Access
+	// QueryItems is the number of data items referenced by a query
+	// (Table 1: mean 10).
+	QueryItems rng.IntDist
+	// UpdateItems is the number of items touched by an update
+	// transaction (Table 1: mean 5).
+	UpdateItems rng.IntDist
+}
+
+// Uniform is the paper's UNIFORM workload over an n-item database.
+func Uniform(n int) Workload {
+	return Workload{
+		Name:        "UNIFORM",
+		Query:       UniformAccess{N: n},
+		Update:      UniformAccess{N: n},
+		QueryItems:  rng.UniformInt{Lo: 1, Hi: 19},
+		UpdateItems: rng.UniformInt{Lo: 1, Hi: 9},
+	}
+}
+
+// HotCold is the paper's HOTCOLD workload: queries hit items 1..100 with
+// probability 0.8 (ids 0..99 internally); updates remain uniform.
+func HotCold(n int) Workload {
+	hotHi := int32(99)
+	if int32(n) <= hotHi {
+		hotHi = int32(n) - 1
+	}
+	return Workload{
+		Name:        "HOTCOLD",
+		Query:       HotColdAccess{N: n, HotLo: 0, HotHi: hotHi, HotProb: 0.8},
+		Update:      UniformAccess{N: n},
+		QueryItems:  rng.UniformInt{Lo: 1, Hi: 19},
+		UpdateItems: rng.UniformInt{Lo: 1, Hi: 9},
+	}
+}
+
+// Zipf is an extension workload: Zipf-skewed queries, uniform updates.
+func Zipf(n int, theta float64) Workload {
+	return Workload{
+		Name:        fmt.Sprintf("ZIPF-%.2f", theta),
+		Query:       ZipfAccess{Z: rng.NewZipf(n, theta)},
+		Update:      UniformAccess{N: n},
+		QueryItems:  rng.UniformInt{Lo: 1, Hi: 19},
+		UpdateItems: rng.UniformInt{Lo: 1, Hi: 9},
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/rng"
+)
+
+func distinctInRange(t *testing.T, ids []int32, n int) {
+	t.Helper()
+	seen := make(map[int32]bool)
+	for _, id := range ids {
+		if id < 0 || int(id) >= n {
+			t.Fatalf("id %d out of range [0,%d)", id, n)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d in %v", id, ids)
+		}
+		seen[id] = true
+	}
+}
+
+func TestUniformAccess(t *testing.T) {
+	src := rng.New(1)
+	a := UniformAccess{N: 50}
+	for trial := 0; trial < 100; trial++ {
+		ids := a.Sample(src, 10, nil)
+		if len(ids) != 10 {
+			t.Fatalf("len = %d", len(ids))
+		}
+		distinctInRange(t, ids, 50)
+	}
+	if a.Name() != "uniform" {
+		t.Fatal("name")
+	}
+}
+
+func TestUniformAccessClampsK(t *testing.T) {
+	src := rng.New(2)
+	a := UniformAccess{N: 5}
+	ids := a.Sample(src, 10, nil)
+	if len(ids) != 5 {
+		t.Fatalf("len = %d, want clamped to N", len(ids))
+	}
+	distinctInRange(t, ids, 5)
+}
+
+func TestHotColdSkew(t *testing.T) {
+	src := rng.New(3)
+	a := HotColdAccess{N: 10000, HotLo: 0, HotHi: 99, HotProb: 0.8}
+	hot := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		ids := a.Sample(src, 1, nil)
+		if ids[0] <= 99 {
+			hot++
+		}
+	}
+	frac := float64(hot) / trials
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("hot fraction = %v, want ~0.8", frac)
+	}
+	if a.Name() != "hotcold" {
+		t.Fatal("name")
+	}
+}
+
+func TestHotColdColdAvoidsHotRegion(t *testing.T) {
+	src := rng.New(4)
+	a := HotColdAccess{N: 200, HotLo: 50, HotHi: 99, HotProb: 0}
+	for i := 0; i < 2000; i++ {
+		ids := a.Sample(src, 3, nil)
+		distinctInRange(t, ids, 200)
+		for _, id := range ids {
+			if id >= 50 && id <= 99 {
+				t.Fatalf("cold draw landed in hot region: %d", id)
+			}
+		}
+	}
+}
+
+func TestHotColdAllHot(t *testing.T) {
+	src := rng.New(5)
+	a := HotColdAccess{N: 100, HotLo: 0, HotHi: 99, HotProb: 0}
+	// Degenerate: the whole database is hot, cold region empty.
+	ids := a.Sample(src, 5, nil)
+	distinctInRange(t, ids, 100)
+	if len(ids) != 5 {
+		t.Fatalf("len = %d", len(ids))
+	}
+}
+
+func TestHotColdDistinct(t *testing.T) {
+	src := rng.New(6)
+	a := HotColdAccess{N: 10000, HotLo: 0, HotHi: 99, HotProb: 0.8}
+	for i := 0; i < 200; i++ {
+		ids := a.Sample(src, 19, nil)
+		if len(ids) != 19 {
+			t.Fatalf("len = %d", len(ids))
+		}
+		distinctInRange(t, ids, 10000)
+	}
+}
+
+func TestZipfAccess(t *testing.T) {
+	src := rng.New(7)
+	a := ZipfAccess{Z: rng.NewZipf(1000, 0.95)}
+	counts := make([]int, 1000)
+	for i := 0; i < 5000; i++ {
+		ids := a.Sample(src, 5, nil)
+		distinctInRange(t, ids, 1000)
+		for _, id := range ids {
+			counts[id]++
+		}
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("no skew: head=%d mid=%d", counts[0], counts[500])
+	}
+	if a.Name() != "zipf(0.95)" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestUniformWorkloadShape(t *testing.T) {
+	w := Uniform(10000)
+	if w.Name != "UNIFORM" {
+		t.Fatal("name")
+	}
+	if w.QueryItems.Mean() != 10 || w.UpdateItems.Mean() != 5 {
+		t.Fatalf("means: q=%v u=%v (Table 1 wants 10 and 5)",
+			w.QueryItems.Mean(), w.UpdateItems.Mean())
+	}
+}
+
+func TestHotColdWorkloadShape(t *testing.T) {
+	w := HotCold(10000)
+	hc := w.Query.(HotColdAccess)
+	if hc.HotLo != 0 || hc.HotHi != 99 || hc.HotProb != 0.8 {
+		t.Fatalf("hot region = %+v", hc)
+	}
+	if _, ok := w.Update.(UniformAccess); !ok {
+		t.Fatal("HOTCOLD updates must stay uniform (Table 2)")
+	}
+}
+
+func TestHotColdTinyDatabase(t *testing.T) {
+	w := HotCold(50)
+	hc := w.Query.(HotColdAccess)
+	if hc.HotHi != 49 {
+		t.Fatalf("hot region not clamped: %+v", hc)
+	}
+	src := rng.New(8)
+	ids := w.Query.Sample(src, 10, nil)
+	distinctInRange(t, ids, 50)
+}
+
+func TestZipfWorkloadShape(t *testing.T) {
+	w := Zipf(100, 0.5)
+	if w.Name != "ZIPF-0.50" {
+		t.Fatalf("name = %q", w.Name)
+	}
+}

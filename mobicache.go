@@ -1,0 +1,75 @@
+// Package mobicache reproduces "Adaptive Cache Invalidation Methods in
+// Mobile Environments" (Qinglong Hu and Dik Lun Lee, HPDC 1997): a
+// discrete-event simulation of broadcast-based cache invalidation in a
+// wireless cell, the four invalidation schemes the paper evaluates — bit
+// sequences (BS), timestamps with checking (ts-check), and the adaptive
+// AFW and AAW methods — plus the TS and AT building blocks, and a harness
+// regenerating every figure of the paper's evaluation.
+//
+// This file is the public facade: everything needed to configure and run
+// simulations without importing the internal packages.
+//
+//	cfg := mobicache.DefaultConfig()          // Table 1
+//	cfg.Scheme = "aaw"
+//	cfg.Workload = mobicache.HotCold(cfg.DBSize)
+//	res, err := mobicache.Run(cfg)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package mobicache
+
+import (
+	"sort"
+
+	"mobicache/internal/core"
+	"mobicache/internal/engine"
+	"mobicache/internal/multicell"
+	"mobicache/internal/workload"
+)
+
+// Config describes one simulation run; see engine.Config for field
+// documentation. DefaultConfig returns the paper's Table 1 settings.
+type Config = engine.Config
+
+// Results aggregates the metrics of one run.
+type Results = engine.Results
+
+// Workload bundles query/update access patterns and operation sizes.
+type Workload = workload.Workload
+
+// DefaultConfig returns Table 1's configuration with the UNIFORM workload.
+func DefaultConfig() Config { return engine.Default() }
+
+// Run executes one simulation.
+func Run(c Config) (*Results, error) { return engine.Run(c) }
+
+// Uniform is the paper's UNIFORM workload over an n-item database.
+func Uniform(n int) Workload { return workload.Uniform(n) }
+
+// HotCold is the paper's HOTCOLD workload: 80% of queries to items 1..100.
+func HotCold(n int) Workload { return workload.HotCold(n) }
+
+// Zipf is the extension workload with Zipf(theta)-skewed queries.
+func Zipf(n int, theta float64) Workload { return workload.Zipf(n, theta) }
+
+// Schemes lists the available invalidation scheme names, sorted.
+func Schemes() []string {
+	names := core.Names()
+	sort.Strings(names)
+	return names
+}
+
+// MulticellConfig describes a multi-cell simulation (see
+// internal/multicell): several mobile support stations over a replicated
+// database, with hosts migrating between cells while powered off.
+type MulticellConfig = multicell.Config
+
+// MulticellResults aggregates a multi-cell run.
+type MulticellResults = multicell.Results
+
+// DefaultMulticellConfig is four cells with 30% mobility per
+// disconnection over the Table 1 base configuration.
+func DefaultMulticellConfig() MulticellConfig { return multicell.DefaultConfig() }
+
+// RunMulticell executes a multi-cell simulation.
+func RunMulticell(c MulticellConfig) (*MulticellResults, error) { return multicell.Run(c) }

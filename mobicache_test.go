@@ -1,0 +1,47 @@
+package mobicache
+
+import "testing"
+
+func TestFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SimTime = 2000
+	cfg.ConsistencyCheck = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueriesAnswered == 0 || res.ConsistencyViolations != 0 {
+		t.Fatalf("facade run broken: %+v", res)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SimTime = 2000
+	for _, wl := range []Workload{Uniform(cfg.DBSize), HotCold(cfg.DBSize), Zipf(cfg.DBSize, 0.9)} {
+		cfg.Workload = wl
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	names := Schemes()
+	if len(names) != 7 {
+		t.Fatalf("schemes = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.SimTime = 1000
+	for _, name := range names {
+		cfg.Scheme = name
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
