@@ -1,0 +1,38 @@
+# Developer entry points. `make lint test` is the full local gate; CI
+# (.github/workflows/ci.yml) runs the same commands.
+
+GO ?= go
+MOBILINT := bin/mobilint
+
+.PHONY: all build test race lint fuzz-smoke bench mobilint clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify: exactly what the roadmap pins.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+mobilint:
+	$(GO) build -o $(MOBILINT) ./cmd/mobilint
+
+# Stock vet plus the mobilint determinism suite (see DESIGN.md
+# "Determinism contract").
+lint: mobilint
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath $(MOBILINT)) ./...
+
+# Short native-fuzz run over the invalidation-report codec.
+fuzz-smoke:
+	$(GO) test -run Fuzz -fuzz='Fuzz.*IR' -fuzztime=10s ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+clean:
+	rm -rf bin

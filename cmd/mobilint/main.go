@@ -1,0 +1,218 @@
+// Command mobilint runs mobicache's custom static analyzers — the
+// simulator determinism contract (see DESIGN.md §"Determinism contract").
+//
+// Two modes:
+//
+//	mobilint ./...                          # standalone, like a linter
+//	go vet -vettool=$(which mobilint) ./... # as a vet tool
+//
+// The vet mode speaks the go command's unitchecker protocol: go vet
+// invokes the tool once per package with a JSON .cfg file naming the
+// source files and the export data of every dependency. Both modes print
+// findings as file:line:col: message and exit non-zero when any are
+// found.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobicache/internal/analyzers"
+	"mobicache/internal/analyzers/framework"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes its vet tool for a version (build cache key)
+	// and for its flag set before handing over package configs. A "devel"
+	// version must carry a buildID; hashing our own executable makes vet
+	// results cache-correct across analyzer changes.
+	if len(args) == 1 && args[0] == "-V=full" {
+		fmt.Printf("%s version devel buildID=%s\n", progname(), selfID())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+func progname() string { return filepath.Base(os.Args[0]) }
+
+// selfID content-addresses this binary so the go command's vet cache
+// invalidates when the analyzers change.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// standalone loads each package named by patterns from source (imports
+// come from `go list -export` build-cache data) and runs the suite.
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	pkgs, err := framework.GoList(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	loader := framework.NewLoader(wd)
+	exit := 0
+	for _, p := range pkgs {
+		importPath, dir := p[0], p[1]
+		pkg, err := loader.LoadPackage(dir, importPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobilint: %s: %v\n", importPath, err)
+			exit = 1
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mobilint: %v\n", terr)
+			exit = 1
+		}
+		diags, err := framework.RunAnalyzers(pkg, analyzers.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mobilint: %s: %v\n", importPath, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(d.String())
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// vetConfig is the subset of the go command's vet configuration file the
+// driver needs (see cmd/go/internal/work and x/tools unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package as directed by a go vet config file.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mobilint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// go vet requires the facts output file to exist even though this
+	// suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only for facts; nothing to report
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	pkg := &framework.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "mobilint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg.Types, pkg.Info = tpkg, info
+
+	diags, err := framework.RunAnalyzers(pkg, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobilint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2 // the go command's "diagnostics reported" exit code
+	}
+	return 0
+}

@@ -35,7 +35,7 @@ func run(args []string, out *os.File) error {
 	def := engine.Default()
 
 	scheme := fs.String("scheme", def.Scheme,
-		"invalidation scheme: "+strings.Join(sortedNames(), ", "))
+		"invalidation scheme: "+strings.Join(core.Names(), ", "))
 	wl := fs.String("workload", "uniform", "workload: uniform, hotcold, or zipf:<theta>")
 	clients := fs.Int("clients", def.Clients, "number of mobile clients")
 	dbSize := fs.Int("db", def.DBSize, "database size in items")
@@ -178,12 +178,6 @@ func writeJSON(out *os.File, r *engine.Results) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
-}
-
-func sortedNames() []string {
-	names := core.Names()
-	sort.Strings(names)
-	return names
 }
 
 func printResults(out *os.File, r *engine.Results, verbose bool) {

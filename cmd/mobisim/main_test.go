@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mobicache/internal/core"
 )
 
 func runCapture(t *testing.T, args ...string) (string, error) {
@@ -81,7 +83,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestSortedNames(t *testing.T) {
-	names := sortedNames()
+	names := core.Names()
 	if len(names) != 7 {
 		t.Fatalf("names = %v", names)
 	}

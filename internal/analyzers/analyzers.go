@@ -1,0 +1,23 @@
+// Package analyzers bundles mobilint's static checks: the determinism
+// contract of the discrete-event simulator, enforced at build time. See
+// the "Determinism contract" section of DESIGN.md for what each analyzer
+// guards and why.
+package analyzers
+
+import (
+	"mobicache/internal/analyzers/errchecksim"
+	"mobicache/internal/analyzers/framework"
+	"mobicache/internal/analyzers/kernelctx"
+	"mobicache/internal/analyzers/maporder"
+	"mobicache/internal/analyzers/nodeterminism"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		nodeterminism.Analyzer,
+		maporder.Analyzer,
+		kernelctx.Analyzer,
+		errchecksim.Analyzer,
+	}
+}

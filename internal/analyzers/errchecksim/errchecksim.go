@@ -1,0 +1,140 @@
+// Package errchecksim flags dropped errors on the bit-exact wire codec
+// paths (internal/bitio, internal/bitseq). The channel cost model charges
+// exactly the encoded bit counts, so a swallowed ErrShortBuffer or decode
+// failure turns a corrupt report into silently-wrong figures instead of a
+// loud failure. Every error produced by those packages must be checked or
+// explicitly annotated with //lint:allow errcheck-sim.
+package errchecksim
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mobicache/internal/analyzers/framework"
+)
+
+// codecPkgs are the package-path suffixes whose error returns must not be
+// dropped.
+var codecPkgs = []string{"internal/bitio", "internal/bitseq"}
+
+// Analyzer is the errcheck-sim check.
+var Analyzer = &framework.Analyzer{
+	Name: "errcheck-sim",
+	Doc: "flag dropped errors from internal/bitio and internal/bitseq " +
+		"encode/decode calls; codec failures must surface, not corrupt figures",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if fn := codecErrCall(pass, n.X); fn != nil {
+					pass.Reportf(n.Pos(), "error from %s.%s dropped: codec failures must be handled",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.GoStmt:
+				if fn := codecErrCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "error from %s.%s dropped by go statement: codec failures must be handled",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.DeferStmt:
+				if fn := codecErrCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "error from %s.%s dropped by defer: codec failures must be handled",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `a, _ := codecCall()` where the blank identifier
+// lands on an error result.
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	// Only the single-call multi-value form can hide an error result
+	// positionally; `x, y := f(), g()` pairs one value per expression.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		fn := codecErrCall(pass, as.Rhs[0])
+		if fn == nil {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len() && i < len(as.Lhs); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(as.Pos(), "error from %s.%s assigned to blank: codec failures must be handled",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		fn := codecErrCall(pass, rhs)
+		if fn == nil {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error from %s.%s assigned to blank: codec failures must be handled",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// codecErrCall reports the called function when expr is a call into a
+// codec package whose results include an error.
+func codecErrCall(pass *framework.Pass, expr ast.Expr) *types.Func {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var ident *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		ident = fun
+	case *ast.SelectorExpr:
+		ident = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[ident].(*types.Func)
+	if !ok || fn.Pkg() == nil || !isCodecPkg(fn.Pkg().Path()) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isCodecPkg(path string) bool {
+	for _, s := range codecPkgs {
+		if framework.PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

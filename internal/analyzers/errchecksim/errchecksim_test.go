@@ -1,0 +1,17 @@
+package errchecksim_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mobicache/internal/analyzers/errchecksim"
+	"mobicache/internal/analyzers/framework"
+)
+
+func TestAnalyzer(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	framework.RunTest(t, testdata, errchecksim.Analyzer, "errchecksim")
+}

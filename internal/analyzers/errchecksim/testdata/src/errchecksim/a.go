@@ -1,0 +1,40 @@
+// Package errchecksim exercises the dropped-codec-error analyzer.
+package errchecksim
+
+import "internal/bitio"
+
+// Bad drops codec errors in every way the analyzer catches.
+func Bad(r *bitio.Reader) int {
+	r.ReadBits(3)           // want `error from bitio\.ReadBits dropped`
+	v, _ := r.ReadBits(3)   // want `error from bitio\.ReadBits assigned to blank`
+	go bitio.Decode(nil)    // want `error from bitio\.Decode dropped by go statement`
+	defer bitio.Decode(nil) // want `error from bitio\.Decode dropped by defer`
+	var b bool
+	b, _ = r.ReadBool() // want `error from bitio\.ReadBool assigned to blank`
+	if b {
+		v++
+	}
+	return int(v)
+}
+
+// Good handles or deliberately annotates every codec error.
+func Good(r *bitio.Reader) (int, error) {
+	v, err := r.ReadBits(3)
+	if err != nil {
+		return 0, err
+	}
+	n, err := bitio.Decode(nil)
+	if err != nil {
+		return 0, err
+	}
+	_ = bitio.BitsFor(8) // no error result: not the analyzer's business
+	//lint:allow errcheck-sim sizing probe, short read is impossible here
+	r.ReadBits(1)
+	return int(v) + n, nil
+}
+
+// BlankValueOK: discarding the value while keeping the error is fine.
+func BlankValueOK(r *bitio.Reader) error {
+	_, err := r.ReadBits(7)
+	return err
+}

@@ -1,0 +1,19 @@
+// Package bitio is a fixture standing in for mobicache/internal/bitio:
+// the errcheck-sim analyzer treats any package path ending in
+// internal/bitio or internal/bitseq as a codec package.
+package bitio
+
+// Reader mimics the bit-granular reader's error-returning surface.
+type Reader struct{}
+
+// ReadBits reads width bits.
+func (r *Reader) ReadBits(width int) (uint64, error) { return 0, nil }
+
+// ReadBool reads a single bit.
+func (r *Reader) ReadBool() (bool, error) { return false, nil }
+
+// Decode mimics a package-level decode entry point.
+func Decode(buf []byte) (int, error) { return 0, nil }
+
+// BitsFor has no error result; calls to it are never flagged.
+func BitsFor(n int) int { return 1 }

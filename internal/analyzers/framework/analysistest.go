@@ -1,0 +1,138 @@
+package framework
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want "regexp"` marker in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE finds the marker; patternRE then pulls out each quoted or
+// backquoted regexp (several patterns may share one comment when a line
+// carries several diagnostics).
+var (
+	wantRE    = regexp.MustCompile(`// want (.+)$`)
+	patternRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+)
+
+// RunTest loads each fixture package below testdata/src, runs the analyzer
+// over it, and checks the diagnostics against `// want "regexp"` comments:
+// every want must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by a want. All directories under testdata/src
+// that contain Go files are importable by their path relative to src, so
+// fixtures can depend on stand-in packages (e.g. a fake "internal/sim").
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	loader := NewLoader(testdata)
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		if ok, _ := filepath.Glob(filepath.Join(path, "*.go")); len(ok) > 0 {
+			rel, _ := filepath.Rel(src, path)
+			loader.AddSrcDir(filepath.ToSlash(rel), path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", src, err)
+	}
+
+	for _, pkgPath := range pkgPaths {
+		pkg, err := loader.LoadPackage(filepath.Join(src, filepath.FromSlash(pkgPath)), pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkgPath, terr)
+		}
+		diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		claimed := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				chunks := patternRE.FindAllStringSubmatch(m[1], -1)
+				if len(chunks) == 0 {
+					t.Fatalf("%s: want comment has no quoted pattern", pos)
+				}
+				for _, chunk := range chunks {
+					pattern := chunk[1]
+					if pattern == "" {
+						pattern = chunk[2]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// FormatDiagnostics renders diagnostics one per line, for driver output
+// and debugging.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintln(&b, d.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that mobilint's analyzers are
+// written against. The repository must build with the standard library
+// alone, so instead of importing x/tools we provide the same three ideas:
+// an Analyzer (name, doc, run function), a Pass (one type-checked package
+// presented to an analyzer), and Diagnostics (positions + messages).
+//
+// Suppression: a diagnostic is dropped when the offending line, or the
+// line directly above it, carries a comment of the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// mirroring staticcheck's //lint:ignore. The reason is free text; the
+// analyzer list may be the literal "all".
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet prints findings.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// allow maps filename -> line -> analyzer names permitted there.
+	allow map[string]map[int]map[string]bool
+	diags *[]Diagnostic
+}
+
+var allowRE = regexp.MustCompile(`^\s*lint:allow\s+([A-Za-z0-9_,-]+)`)
+
+// buildAllowIndex scans comments for //lint:allow markers.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	idx := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether an //lint:allow comment on the diagnostic's
+// line or the line above names this analyzer.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[ln]; names != nil && (names[p.Analyzer.Name] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless an //lint:allow comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The determinism analyzers skip test files: tests may exercise wall-clock
+// timeouts and ad-hoc goroutines without affecting simulation results.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the merged
+// diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			allow:     allow,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// PathHasSuffix reports whether import path has the given slash-separated
+// suffix ("internal/sim" matches both "internal/sim" and
+// "mobicache/internal/sim" but not "reinternal/sim").
+func PathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,97 @@
+package framework
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"mobicache/internal/sim", "internal/sim", true},
+		{"internal/sim", "internal/sim", true},
+		{"reinternal/sim", "internal/sim", false},
+		{"mobicache/internal/simulator", "internal/sim", false},
+		{"mobicache/internal/sim/sub", "internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+// TestAllowSuppression checks the //lint:allow comment contract end to
+// end: same line, line above, wrong analyzer name, and the "all" wildcard.
+func TestAllowSuppression(t *testing.T) {
+	src := `package p
+
+func f() {}
+
+func g() {
+	f()
+	f() //lint:allow callspy trailing marker
+	//lint:allow callspy marker above
+	f()
+	//lint:allow other wrong analyzer
+	f()
+	//lint:allow all wildcard
+	f()
+}
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(wd)
+	pkg, err := loader.LoadPackage(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+
+	spy := &Analyzer{
+		Name: "callspy",
+		Doc:  "reports every call expression",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						pass.Reportf(call.Pos(), "call seen")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{spy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five calls in g: plain (reported), trailing allow (suppressed),
+	// allow-above (suppressed), wrong-name allow (reported), all
+	// (suppressed) => 2 diagnostics.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	wantLines := []int{6, 11}
+	for i, d := range diags {
+		if d.Pos.Line != wantLines[i] {
+			t.Errorf("diagnostic %d at line %d, want line %d (%s)", i, d.Pos.Line, wantLines[i], d.Message)
+		}
+		if d.Analyzer != "callspy" {
+			t.Errorf("diagnostic %d attributed to %q", i, d.Analyzer)
+		}
+	}
+}

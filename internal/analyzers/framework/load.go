@@ -1,0 +1,218 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader resolves imports without golang.org/x/tools. Dependencies are
+// imported from compiler export data located with `go list -export`
+// (stdlib and module packages alike come out of the build cache), except
+// for explicitly registered source directories (used by the analysis test
+// harness for fixture packages under testdata/src).
+type Loader struct {
+	Fset *token.FileSet
+	// WorkDir is where `go list` runs; it must be inside the module.
+	WorkDir string
+
+	gc      types.ImporterFrom
+	exports map[string]string // import path -> export data file
+	srcDirs map[string]string // import path -> source dir
+	pkgs    map[string]*types.Package
+}
+
+// NewLoader returns a loader that resolves imports from workdir.
+func NewLoader(workdir string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		WorkDir: workdir,
+		exports: make(map[string]string),
+		srcDirs: make(map[string]string),
+		pkgs:    make(map[string]*types.Package),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport).(types.ImporterFrom)
+	return l
+}
+
+// AddSrcDir registers a package to be type-checked from source when
+// imported as path.
+func (l *Loader) AddSrcDir(path, dir string) { l.srcDirs[path] = dir }
+
+// lookupExport feeds the gc importer the export data file for path,
+// consulting `go list -export` on a miss.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		if err := l.fetchExports(path); err != nil {
+			return nil, err
+		}
+		file, ok = l.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// fetchExports runs `go list -export -deps` for pattern and records every
+// resulting export data file.
+func (l *Loader) fetchExports(pattern string) error {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export", "--", pattern)
+	cmd.Dir = l.WorkDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v (%s)", pattern, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var entry struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&entry); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("go list -export %s: %v", pattern, err)
+		}
+		if entry.Export != "" {
+			l.exports[entry.ImportPath] = entry.Export
+		}
+	}
+	return nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.WorkDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom. Source-registered packages are
+// parsed and checked recursively (with caching); everything else is
+// imported from gc export data.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir, ok := l.srcDirs[path]; ok {
+		pkg, err := l.LoadPackage(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("type errors in %s: %v", path, pkg.TypeErrors[0])
+		}
+		l.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return l.gc.ImportFrom(path, srcDir, mode)
+}
+
+// LoadPackage parses the buildable non-test .go files in dir and
+// type-checks them as import path. Type errors are collected on the
+// returned Package rather than aborting, so analyzers can still run over
+// mostly-valid code.
+func (l *Loader) LoadPackage(dir, path string) (*Package, error) {
+	ctx := build.Default
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("resolving %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.CheckFiles(path, dir, files)
+}
+
+// CheckFiles type-checks already-parsed files as one package.
+func (l *Loader) CheckFiles(path, dir string, files []*ast.File) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Check reports the first error; all errors land in pkg.TypeErrors.
+	pkg.Types, _ = conf.Check(path, l.Fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// GoList resolves package patterns (e.g. "./...") to import path + dir
+// pairs, in deterministic go-list order.
+func GoList(workdir string, patterns []string) ([][2]string, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = workdir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v (%s)", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs [][2]string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var entry struct {
+			ImportPath string
+			Dir        string
+			Error      *struct{ Err string }
+		}
+		if err := dec.Decode(&entry); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		// -e keeps go list alive across broken patterns but marks the
+		// affected entries; surface those instead of skipping silently.
+		if entry.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", entry.ImportPath, entry.Error.Err)
+		}
+		if entry.Dir != "" {
+			pkgs = append(pkgs, [2]string{entry.ImportPath, entry.Dir})
+		}
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	return pkgs, nil
+}

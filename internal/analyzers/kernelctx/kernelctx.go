@@ -1,0 +1,115 @@
+// Package kernelctx flags kernel-blocking calls made from raw goroutines.
+// The simulation kernel runs model code under strict channel handoff: at
+// any moment exactly one goroutine — the kernel or one sim.Proc body
+// started via Kernel.Go — is runnable. A plain `go func() { p.Hold(...) }`
+// goroutine is outside that discipline: it races the calendar, and its
+// park/yield handshake deadlocks the kernel. This is the classic way to
+// corrupt or hang the simulator, and -race only catches it when the
+// interleaving happens to fire.
+package kernelctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mobicache/internal/analyzers/framework"
+)
+
+// blocking lists methods that may only run in kernel-managed context,
+// per receiver type in mobicache/internal/sim.
+var blocking = map[string]map[string]bool{
+	"Proc":   {"Hold": true, "HoldUntil": true, "Wait": true},
+	"Kernel": {"Schedule": true, "At": true, "Run": true, "Step": true},
+}
+
+// Analyzer is the kernelctx check.
+var Analyzer = &framework.Analyzer{
+	Name: "kernelctx",
+	Doc: "flag Proc.Hold/Proc.Wait/Kernel.Schedule calls from raw `go` " +
+		"goroutines; only kernel-managed Proc bodies (Kernel.Go) may block on the kernel",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				checkGoroutineBody(pass, lit.Body)
+			}
+			// Function literals passed as arguments run on the new
+			// goroutine too if invoked there; the body walk above covers
+			// the direct `go func(){...}()` form, which is the pattern
+			// the simulator's packages use.
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody reports blocking kernel calls reachable lexically
+// from a raw goroutine body, without descending into Proc bodies handed
+// to Kernel.Go (those run kernel-managed).
+func checkGoroutineBody(pass *framework.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvType, methodName, ok := simMethod(pass, sel)
+		if !ok {
+			return true
+		}
+		if methodName == "Go" && recvType == "Kernel" {
+			// Spawning a process still mutates the calendar, so doing it
+			// from a raw goroutine races the kernel — but the Proc body
+			// handed over will run kernel-managed, so don't descend into
+			// it.
+			pass.Reportf(call.Pos(),
+				"sim.Kernel.Go called from a raw goroutine: process spawning mutates the event calendar and must run in kernel context")
+			return false
+		}
+		if names := blocking[recvType]; names != nil && names[methodName] {
+			pass.Reportf(call.Pos(),
+				"sim.%s.%s called from a raw goroutine: only the kernel or a Proc body started by Kernel.Go may block on the kernel (use Kernel.Go)",
+				recvType, methodName)
+		}
+		return true
+	})
+}
+
+// simMethod resolves sel to (receiver type name, method name) when sel is
+// a method of mobicache/internal/sim's Proc or Kernel.
+func simMethod(pass *framework.Pass, sel *ast.SelectorExpr) (string, string, bool) {
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || !framework.PathHasSuffix(tn.Pkg().Path(), "internal/sim") {
+		return "", "", false
+	}
+	return tn.Name(), obj.Name(), true
+}

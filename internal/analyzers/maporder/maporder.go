@@ -1,0 +1,202 @@
+// Package maporder flags map iteration whose body does order-sensitive
+// work: appending to a slice, sending on a channel, writing output, or
+// feeding the measurement pipeline (internal/report, internal/stats). Go
+// randomizes map iteration order per run, so any of these silently makes
+// simulator output differ between identically-seeded runs. The fix is to
+// collect and sort the keys first (then range over the sorted slice), or
+// to annotate a genuinely order-insensitive loop with //lint:allow
+// maporder.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mobicache/internal/analyzers/framework"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &framework.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map bodies that append, send, write output or feed " +
+		"internal/report|internal/stats; map order is randomized per run",
+	Run: run,
+}
+
+// orderSinkPkgs are packages whose mutating calls inside a map-range body
+// make the iteration order observable in results.
+var orderSinkPkgs = []string{"internal/report", "internal/stats"}
+
+// pureNames are accessor methods of the sink packages that do not
+// accumulate state, so calling them per map entry is harmless.
+var pureNames = map[string]bool{
+	"String": true, "SizeBits": true, "Kind": true, "Time": true,
+	"Len": true, "N": true, "Mean": true, "Max": true, "Min": true,
+	"Sum": true, "Variance": true, "CI95": true, "Batches": true,
+	"Quantile": true, "Bins": true, "Hits": true, "Misses": true,
+	"IDBits": true, "FramingBits": true, "DefaultParams": true,
+}
+
+// writerNames are method names that emit output wherever they live
+// (io.Writer implementations, fmt-style printers).
+var writerNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				return true
+			}
+			checkBody(pass, f, rs)
+			// Nested map ranges are visited by the outer Inspect; their
+			// bodies were skipped by checkBody to avoid double reports.
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapRange(pass *framework.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody walks one map-range body reporting order-sensitive constructs.
+func checkBody(pass *framework.Pass, file *ast.File, outer *ast.RangeStmt) {
+	ast.Inspect(outer.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(pass, n) {
+				return false // reported separately by the outer Inspect
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map: iteration order is randomized; sort the keys first")
+		case *ast.CallExpr:
+			checkCall(pass, file, outer, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, file *ast.File, outer *ast.RangeStmt, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+			// The canonical fix — collect into a slice, then sort it —
+			// itself appends inside the map range. Tolerate appends whose
+			// target is sorted after the loop.
+			if sortedLater(pass, file, outer, call) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"append inside range over map: element order depends on randomized map iteration; sort the slice afterwards or the keys first")
+		}
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		name := obj.Name()
+		pkg := obj.Pkg()
+		if pkg != nil && pkg.Path() == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over map: output order is randomized; sort the keys first", name)
+			return
+		}
+		if writerNames[name] && isMethod(obj) {
+			pass.Reportf(call.Pos(),
+				"%s call inside range over map: output order is randomized; sort the keys first", name)
+			return
+		}
+		if pkg != nil && isOrderSink(pkg.Path()) && !pureNames[name] {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside range over map feeds the measurement pipeline in randomized order; sort the keys first",
+				pkg.Name(), name)
+		}
+	}
+}
+
+// sortedLater reports whether the slice being appended to is passed to a
+// sort/slices function after the map range ends — the collect-then-sort
+// idiom that makes the iteration order harmless.
+func sortedLater(pass *framework.Pass, file *ast.File, outer *ast.RangeStmt, appendCall *ast.CallExpr) bool {
+	if len(appendCall.Args) == 0 {
+		return false
+	}
+	target, ok := appendCall.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[target]
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, okCall := n.(*ast.CallExpr)
+		if !okCall || call.Pos() <= outer.End() {
+			return true
+		}
+		fn, okFn := calleeFunc(pass, call)
+		if !okFn || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, okID := an.(*ast.Ident); okID && pass.TypesInfo.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return true
+	})
+	return sorted
+}
+
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+func isMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func isOrderSink(path string) bool {
+	for _, s := range orderSinkPkgs {
+		if framework.PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mobicache/internal/analyzers/framework"
+	"mobicache/internal/analyzers/maporder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	framework.RunTest(t, testdata, maporder.Analyzer, "maporder")
+}

@@ -1,0 +1,16 @@
+// Package stats is a fixture standing in for mobicache/internal/stats:
+// calls into it from a map-range body feed the measurement pipeline.
+package stats
+
+// Tally accumulates observations; Observe is order-sensitive for
+// downstream batch statistics.
+type Tally struct{ n int }
+
+// Observe records one value.
+func (t *Tally) Observe(v float64) { t.n++ }
+
+// Mean is a pure accessor.
+func (t *Tally) Mean() float64 { return 0 }
+
+// N is a pure accessor.
+func (t *Tally) N() int { return t.n }

@@ -1,0 +1,66 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"internal/stats"
+)
+
+// Bad demonstrates the order-sensitive constructs the analyzer flags.
+func Bad(m map[string]float64, t *stats.Tally, ch chan string) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, k) // want `append inside range over map`
+		fmt.Println(k, v)    // want `fmt\.Println inside range over map`
+		t.Observe(v)         // want `stats\.Observe inside range over map feeds the measurement pipeline`
+		ch <- k              // want `channel send inside range over map`
+	}
+	return out
+}
+
+// SortedKeys is the canonical fix: collect, sort, then iterate the slice.
+// The append inside the collection loop is tolerated because the slice is
+// sorted before anything consumes it.
+func SortedKeys(m map[string]float64, t *stats.Tally) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Observe(m[k])
+	}
+	return keys
+}
+
+// PureAccessors may be called per entry: they accumulate nothing.
+func PureAccessors(m map[string]*stats.Tally) float64 {
+	var total float64
+	for _, t := range m {
+		total += t.Mean() + float64(t.N())
+	}
+	return total
+}
+
+// CommutativeWrites into another map are order-insensitive and not
+// flagged.
+func CommutativeWrites(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Annotated shows the escape hatch for a loop the author knows is
+// order-insensitive.
+func Annotated(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		//lint:allow maporder summed later, order-insensitive
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+// Package sim is a fixture standing in for mobicache/internal/sim: its
+// import path ends in internal/sim, so the determinism contract applies.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock exercises the forbidden wall-clock and entropy calls.
+func Clock() float64 {
+	start := time.Now()               // want `nondeterministic time\.Now in simulator package`
+	time.Sleep(10 * time.Millisecond) // want `nondeterministic time\.Sleep in simulator package`
+	elapsed := time.Since(start)      // want `nondeterministic time\.Since in simulator package`
+	jitter := rand.Float64()          // want `nondeterministic math/rand\.Float64 in simulator package`
+	n := rand.Intn(os.Getpid())       // want `nondeterministic math/rand\.Intn` `nondeterministic os\.Getpid`
+	host, _ := os.Hostname()          // want `nondeterministic os\.Hostname`
+	_ = os.Getenv("MOBICACHE_SEED")   // want `nondeterministic os\.Getenv`
+	return elapsed.Seconds() + jitter + float64(n) + float64(len(host))
+}
+
+// Durations uses time only for its types and constants, which is legal:
+// only the entropy-bearing functions are banned.
+func Durations(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}
+
+// Annotated shows the escape hatch for a vetted exception.
+func Annotated() int64 {
+	//lint:allow nodeterminism cold-path diagnostics only, not used in results
+	return time.Now().UnixNano()
+}

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mobicache/internal/bitseq"
 	"mobicache/internal/cache"
@@ -215,11 +216,13 @@ func Lookup(name string) (Scheme, error) {
 	return s, nil
 }
 
-// Names lists the registered scheme names (unordered).
+// Names lists the registered scheme names in sorted order, so that help
+// text, sweeps and reports iterate schemes deterministically.
 func Names() []string {
 	out := make([]string, 0, len(Registry))
 	for name := range Registry {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

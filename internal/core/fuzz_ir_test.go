@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/bitio"
+	"mobicache/internal/db"
+	"mobicache/internal/report"
+)
+
+// FuzzDecodeIR feeds arbitrary byte strings to the invalidation-report
+// decoder. Whatever the bytes, Decode must return cleanly (never panic or
+// over-allocate), and anything it accepts must survive an
+// encode-decode round trip with kind, timestamp and analytic size intact
+// — the properties the wire cost model depends on. Run as a CI smoke via
+// `go test -fuzz=Fuzz.*IR -fuzztime=10s ./internal/core`.
+func FuzzDecodeIR(f *testing.F) {
+	p := report.DefaultParams(64)
+
+	seed := func(r report.Report) {
+		w := bitio.NewWriter()
+		report.Encode(r, p, w)
+		f.Add(w.Bytes())
+	}
+	seed(&report.TSReport{T: 40, Entries: []db.UpdateEntry{{ID: 3, TS: 31}, {ID: 9, TS: 38}}})
+	seed(&report.TSReport{T: 60, Entries: []db.UpdateEntry{{ID: 1, TS: 55}}, Dummy: &report.DummyRecord{Tlb: 12}})
+	seed(&report.ATReport{T: 20, IDs: []int32{4, 8, 15, 16, 23, 42}})
+	seed(&report.SIGReport{T: 80, Sigs: []uint64{0xdead, 0xbeef}, SigBits: 16})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bitio.NewReader(data, len(data)*8)
+		rep, err := report.Decode(p, r)
+		if err != nil {
+			return // rejected, fine — we only demand it rejects cleanly
+		}
+		w := bitio.NewWriter()
+		report.Encode(rep, p, w)
+		rep2, err := report.Decode(p, bitio.NewReader(w.Bytes(), w.Len()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded %s report failed: %v", rep.Kind(), err)
+		}
+		if rep2.Kind() != rep.Kind() {
+			t.Fatalf("kind changed across round trip: %s -> %s", rep.Kind(), rep2.Kind())
+		}
+		// Bit-pattern comparison: a fuzzed timestamp may be NaN, which
+		// still must round-trip exactly on the wire.
+		if math.Float64bits(rep2.Time()) != math.Float64bits(rep.Time()) {
+			t.Fatalf("timestamp changed across round trip: %x -> %x",
+				math.Float64bits(rep.Time()), math.Float64bits(rep2.Time()))
+		}
+		if got, want := rep2.SizeBits(p), rep.SizeBits(p); got != want {
+			t.Fatalf("analytic size changed across round trip: %d -> %d bits", want, got)
+		}
+	})
+}
