@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint fuzz-smoke bench mobilint clean
+.PHONY: all build test race lint fuzz-smoke chaos-smoke bench mobilint clean
 
 all: build lint test
 
@@ -30,6 +30,12 @@ lint: mobilint
 # Short native-fuzz run over the invalidation-report codec.
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz='Fuzz.*IR' -fuzztime=10s ./internal/core
+
+# Quick compound-fault pass: the ext-chaos sweep (bursty loss +
+# corruption + server crashes, all seven schemes) at a short horizon.
+# The sweep's own check fails the run on any stale read.
+chaos-smoke:
+	$(GO) run ./cmd/experiments -figure ext-chaos-thr -simtime 4000 -out results-chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

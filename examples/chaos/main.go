@@ -1,0 +1,64 @@
+// Chaos: the reproduction's robustness story. The paper's evaluation
+// assumes every broadcast is heard, every uplink message arrives, and the
+// server never dies; this example turns all three assumptions off at once
+// — bursty Gilbert–Elliott loss and corruption on both links, periodic
+// server crash/restart with its in-memory history lost — and shows that
+// every scheme still serves zero stale reads, paying instead with
+// retries, recovery-epoch cache degradations, and throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobicache"
+)
+
+func main() {
+	base := mobicache.DefaultConfig()
+	base.SimTime = 40000
+	base.MeanDisc = 400
+	base.ConsistencyCheck = true // the stale-read detector is the point
+	base.Faults = mobicache.FaultConfig{
+		// Downlink fading: ~5% of messages enter a burst where half are
+		// lost and a tenth arrive undecodable.
+		DownLoss: mobicache.GEParams{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.5, CorruptBad: 0.1},
+		// The shared uplink fades independently.
+		UpLoss: mobicache.GEParams{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.3},
+		// The server crashes about every 3000 s and takes ~120 s to come
+		// back, losing its in-memory update history each time.
+		CrashMTBF: 3000,
+		CrashMTTR: 120,
+		// Without timeouts, one fetch swallowed by a dead server would
+		// hang its client forever.
+		Retry: mobicache.RetryPolicy{Timeout: 240, Backoff: 2, MaxDelay: 1920, Jitter: 0.2, MaxAttempts: 6},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tqueries\tIRs lost\tcorrupt\tretries/q\tepoch drops\tcrashes\trecovery (s)\tstale reads")
+	for _, scheme := range []string{"ts", "at", "ts-check", "bs", "afw", "aaw", "sig"} {
+		cfg := base
+		cfg.Scheme = scheme
+		res, err := mobicache.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.ConsistencyViolations != 0 {
+			log.Fatalf("%s served stale data under chaos: %v", scheme, res.FirstViolation)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3f\t%d\t%d\t%.0f\t%d\n",
+			scheme, res.QueriesAnswered, res.ReportsLost, res.ReportsCorrupted,
+			res.RetriesPerQuery, res.EpochDegrades, res.ServerCrashes,
+			res.MeanRecoveryLatency, res.ConsistencyViolations)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("Every scheme survives compound faults with zero stale reads: lost and")
+	fmt.Println("corrupted reports fall through the missed-report path, swallowed uplink")
+	fmt.Println("messages are retried with capped backoff, and after each server restart")
+	fmt.Println("the recovery marker forces clients whose Tlb predates the crash to drop")
+	fmt.Println("(or re-check) rather than trust a history window the server no longer has.")
+}

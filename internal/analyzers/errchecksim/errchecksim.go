@@ -1,9 +1,12 @@
 // Package errchecksim flags dropped errors on the bit-exact wire codec
-// paths (internal/bitio, internal/bitseq). The channel cost model charges
-// exactly the encoded bit counts, so a swallowed ErrShortBuffer or decode
-// failure turns a corrupt report into silently-wrong figures instead of a
-// loud failure. Every error produced by those packages must be checked or
-// explicitly annotated with //lint:allow errcheck-sim.
+// paths (internal/bitio, internal/bitseq, internal/report). The channel
+// cost model charges exactly the encoded bit counts, so a swallowed
+// ErrShortBuffer or decode failure turns a corrupt report into
+// silently-wrong figures instead of a loud failure — and the fault layer
+// surfaces injected corruption only as report.Decode/CorruptDecode
+// errors, so dropping one silently un-injects the fault. Every error
+// produced by those packages must be checked or explicitly annotated
+// with //lint:allow errcheck-sim.
 package errchecksim
 
 import (
@@ -15,13 +18,14 @@ import (
 
 // codecPkgs are the package-path suffixes whose error returns must not be
 // dropped.
-var codecPkgs = []string{"internal/bitio", "internal/bitseq"}
+var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report"}
 
 // Analyzer is the errcheck-sim check.
 var Analyzer = &framework.Analyzer{
 	Name: "errcheck-sim",
-	Doc: "flag dropped errors from internal/bitio and internal/bitseq " +
-		"encode/decode calls; codec failures must surface, not corrupt figures",
+	Doc: "flag dropped errors from internal/bitio, internal/bitseq and " +
+		"internal/report encode/decode calls; codec failures must surface, " +
+		"not corrupt figures",
 	Run: run,
 }
 

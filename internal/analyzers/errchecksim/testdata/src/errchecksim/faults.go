@@ -1,0 +1,25 @@
+package errchecksim
+
+import "internal/report"
+
+// BadFaultPaths drops errors from the fault-injection decode surface: a
+// swallowed CorruptDecode error turns injected corruption back into a
+// clean delivery.
+func BadFaultPaths(buf []byte) report.Report {
+	report.CorruptDecode(nil)     // want `error from report\.CorruptDecode dropped`
+	r, _ := report.Decode(buf)    // want `error from report\.Decode assigned to blank`
+	defer report.CorruptDecode(r) // want `error from report\.CorruptDecode dropped by defer`
+	return r
+}
+
+// GoodFaultPaths surfaces every fault-decode error.
+func GoodFaultPaths(buf []byte) (report.Report, error) {
+	r, err := report.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := report.CorruptDecode(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,15 @@
+// Package report is a fixture standing in for mobicache/internal/report:
+// the errcheck-sim analyzer treats any package path ending in
+// internal/report as a codec package, covering the fault-injection decode
+// paths (a dropped CorruptDecode error silently un-injects the fault).
+package report
+
+// Report mimics the broadcast report interface.
+type Report interface{ Kind() int }
+
+// Decode mimics the report decoder.
+func Decode(buf []byte) (Report, error) { return nil, nil }
+
+// CorruptDecode mimics the corruption-to-decode-error path of the fault
+// layer; its error is the entire injected fault.
+func CorruptDecode(r Report) error { return nil }

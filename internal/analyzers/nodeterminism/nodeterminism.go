@@ -26,6 +26,7 @@ var Restricted = []string{
 	"internal/workload",
 	"internal/multicell",
 	"internal/netsim",
+	"internal/faults",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

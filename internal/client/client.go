@@ -10,7 +10,9 @@ package client
 import (
 	"math"
 
+	"mobicache/internal/bitio"
 	"mobicache/internal/core"
+	"mobicache/internal/faults"
 	"mobicache/internal/netsim"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
@@ -80,8 +82,22 @@ type Config struct {
 	// ReportLossProb injects reception failures: each broadcast report is
 	// independently lost with this probability (fading, collisions). The
 	// paper assumes perfect reception; the schemes must degrade to their
-	// missed-report recovery paths, never to stale reads.
+	// missed-report recovery paths, never to stale reads. It is the
+	// degenerate single-state case of DownLoss; setting both is an error
+	// upstream (engine.Config.Validate).
 	ReportLossProb float64
+	// DownLoss is the Gilbert–Elliott bursty loss/corruption model for
+	// this client's report reception. Fading is per receiver, so each
+	// client steps its own chain, seeded from its own rng stream. When
+	// disabled and ReportLossProb > 0, the legacy knob is run through the
+	// same chain as its degenerate case — one loss path.
+	DownLoss faults.GEParams
+	// Retry is the uplink timeout/backoff policy. Disabled (zero) keeps
+	// the legacy wait-forever exchanges, scheduling no timeout events at
+	// all; enabled, the client abandons stuck check/feedback exchanges
+	// (the next report regenerates them) and re-requests unfinished
+	// fetches with capped exponential backoff.
+	Retry faults.RetryPolicy
 }
 
 // Client is one mobile host.
@@ -98,6 +114,14 @@ type Client struct {
 	fetchSig  *sim.Signal
 	pending   int
 
+	// Fault-injection state.
+	downGE    *faults.GE     // report reception loss/corruption, nil when clean
+	corruptW  *bitio.Writer  // scratch for surfacing corruption as decode errors
+	fetchSeq  int64          // fetch generations, so stale timeouts no-op
+	fetchIDs  []int32        // ids of the outstanding fetch, request order
+	fetchWant map[int32]bool // ids still undelivered (retry mode only)
+	ctrlTries int            // consecutive control timeouts, for backoff
+
 	queryIDs []int32
 	missIDs  []int32
 
@@ -110,6 +134,9 @@ type Client struct {
 	DisconnectedFor      float64
 	ReportsHeard         int64
 	ReportsLost          int64
+	ReportsCorrupted     int64
+	Retries              int64
+	EpochDegrades        int64
 	ValidationUplinkBits float64
 	ValidationUplinkMsgs int64
 	FetchUplinkBits      float64
@@ -118,7 +145,7 @@ type Client struct {
 
 // New creates a client; Start launches its process.
 func New(k *sim.Kernel, up *netsim.Channel, server ServerAPI, cfg Config, src *rng.Source) *Client {
-	return &Client{
+	c := &Client{
 		cfg:       cfg,
 		k:         k,
 		up:        up,
@@ -129,6 +156,16 @@ func New(k *sim.Kernel, up *netsim.Channel, server ServerAPI, cfg Config, src *r
 		validated: sim.NewSignal(k),
 		fetchSig:  sim.NewSignal(k),
 	}
+	// One loss path: the legacy Bernoulli knob is the degenerate
+	// single-state case of the Gilbert–Elliott chain, driven by the same
+	// stream (c.src) the old inline draw used, so seeded results are
+	// unchanged.
+	dl := cfg.DownLoss
+	if !dl.Enabled() {
+		dl = faults.Bernoulli(cfg.ReportLossProb)
+	}
+	c.downGE = faults.NewGE(dl, src)
+	return c
 }
 
 // State exposes the protocol state for the engine's result collection.
@@ -163,9 +200,30 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 	if !c.connected {
 		return
 	}
-	if c.cfg.ReportLossProb > 0 && c.src.Bool(c.cfg.ReportLossProb) {
-		c.ReportsLost++
-		return
+	if c.downGE != nil {
+		switch c.downGE.Next() {
+		case faults.Lose:
+			c.ReportsLost++
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultLoss,
+				Client: c.cfg.ID, A: int64(netsim.ClassReport)})
+			return
+		case faults.Corrupt:
+			// The frame arrived but its integrity check failed: run the
+			// real codec over the truncated bitstream so corruption
+			// surfaces as a decode error, then discard the report like a
+			// loss. The error is asserted, not assumed — a nil here means
+			// the codec accepted a mangled frame.
+			if c.corruptW == nil {
+				c.corruptW = bitio.NewWriter()
+			}
+			if err := report.CorruptDecode(r, c.cfg.Params.Rep, c.corruptW); err == nil {
+				panic("client: corrupted report decoded cleanly")
+			}
+			c.ReportsCorrupted++
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultCorrupt,
+				Client: c.cfg.ID, A: int64(netsim.ClassReport)})
+			return
+		}
 	}
 	c.ReportsHeard++
 	salvagesBefore := c.st.Salvages
@@ -194,6 +252,14 @@ func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) 
 	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ItemDelivered,
 		Client: c.cfg.ID, A: int64(id)})
 	c.st.Cache.Put(id, ts, version)
+	if len(c.fetchWant) > 0 {
+		// Retry mode: duplicate deliveries from re-requested fetches only
+		// refresh the cache; each wanted id is counted down exactly once.
+		if !c.fetchWant[id] {
+			return
+		}
+		delete(c.fetchWant, id)
+	}
 	if c.pending > 0 {
 		c.pending--
 		if c.pending == 0 {
@@ -203,6 +269,9 @@ func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) 
 }
 
 func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
+	if out.EpochDegrade {
+		c.EpochDegrades++
+	}
 	if out.DroppedAll {
 		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheDrop, Client: c.cfg.ID})
 	}
@@ -224,10 +293,39 @@ func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
 			}
 			c.server.OnControl(msg, c.k.Now())
 		})
+		c.scheduleCtrlTimeout(kindArg + 1)
 	}
 	if out.Ready {
+		c.ctrlTries = 0
 		c.validated.Broadcast()
 	}
+}
+
+// scheduleCtrlTimeout arms a give-up timer for the validation exchange
+// just sent (a check request or Tlb feedback). Either may die on the
+// uplink, at a crashed server, or on the reply's way back; without a
+// timer the legacy client waited forever. On expiry the exchange is
+// abandoned through the existing sequence-number guard — late replies
+// are ignored — and the next broadcast report regenerates it, so no
+// resend machinery is needed. No-op when retries are disabled.
+func (c *Client) scheduleCtrlTimeout(kindArg int64) {
+	if !c.cfg.Retry.Enabled() {
+		return
+	}
+	seq := c.st.CheckSeq
+	c.k.Schedule(c.cfg.Retry.Delay(c.ctrlTries, c.src), func() {
+		if c.st.CheckSeq != seq || !c.connected {
+			return // superseded, or already abandoned by a disconnect
+		}
+		if !c.st.AwaitingValidity && !c.st.SentTlb {
+			return // the exchange completed in time
+		}
+		c.ctrlTries++
+		c.Retries++
+		c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.RetryAttempt,
+			Client: c.cfg.ID, A: kindArg, B: int64(c.ctrlTries)})
+		c.st.AbandonPending()
+	})
 }
 
 // run is the client lifecycle: gap (think or disconnection), query,
@@ -319,12 +417,17 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 	c.ItemsRequested += int64(len(c.missIDs))
 	if len(c.missIDs) > 0 {
 		c.pending = len(c.missIDs)
-		ids := make([]int32, len(c.missIDs))
-		copy(ids, c.missIDs)
-		c.FetchUplinkBits += c.cfg.FetchRequestBits
-		c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
-			c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
-		})
+		c.fetchSeq++
+		c.fetchIDs = append(c.fetchIDs[:0], c.missIDs...)
+		if c.cfg.Retry.Enabled() {
+			if c.fetchWant == nil {
+				c.fetchWant = make(map[int32]bool, len(c.fetchIDs))
+			}
+			for _, id := range c.fetchIDs {
+				c.fetchWant[id] = true
+			}
+		}
+		c.sendFetch(0)
 		for c.pending > 0 {
 			p.Wait(c.fetchSig)
 		}
@@ -338,6 +441,38 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 		Client: c.cfg.ID, B: int64((p.Now() - tq) * 1e6)})
 }
 
+// sendFetch transmits a data request for the current fetch's missing
+// items (all of them on attempt 0, the still-undelivered subset on a
+// retry) and, in retry mode, arms a backed-off re-request timer. The
+// request or any item can be destroyed by channel faults or a crashed
+// server; duplicates from overlapping requests are deduplicated against
+// the want-list in DeliverItem.
+func (c *Client) sendFetch(attempt int) {
+	ids := make([]int32, 0, len(c.fetchIDs))
+	for _, id := range c.fetchIDs {
+		if attempt == 0 || c.fetchWant[id] {
+			ids = append(ids, id)
+		}
+	}
+	c.FetchUplinkBits += c.cfg.FetchRequestBits
+	c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
+		c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
+	})
+	if !c.cfg.Retry.Enabled() {
+		return
+	}
+	seq := c.fetchSeq
+	c.k.Schedule(c.cfg.Retry.Delay(attempt, c.src), func() {
+		if seq != c.fetchSeq || c.pending == 0 {
+			return // the fetch completed, or a newer one replaced it
+		}
+		c.Retries++
+		c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.RetryAttempt,
+			Client: c.cfg.ID, A: 0, B: int64(attempt + 1)})
+		c.sendFetch(attempt + 1)
+	})
+}
+
 // ResetStats zeroes the client's measurement counters (warmup boundary);
 // protocol and cache state are untouched.
 func (c *Client) ResetStats() {
@@ -349,6 +484,9 @@ func (c *Client) ResetStats() {
 	c.DisconnectedFor = 0
 	c.ReportsHeard = 0
 	c.ReportsLost = 0
+	c.ReportsCorrupted = 0
+	c.Retries = 0
+	c.EpochDegrades = 0
 	c.ValidationUplinkBits = 0
 	c.ValidationUplinkMsgs = 0
 	c.FetchUplinkBits = 0

@@ -56,6 +56,12 @@ type adaptiveServer struct {
 	SentExt int64
 }
 
+// OnServerCrash implements CrashRecoverable: feedback waiting for the
+// next broadcast dies with the server.
+func (sv *adaptiveServer) OnServerCrash() {
+	sv.pending = sv.pending[:0]
+}
+
 // HandleControl implements ServerSide: adaptive clients only send Tlb
 // feedback.
 func (sv *adaptiveServer) HandleControl(d *db.Database, msg *ControlMsg, now float64) *report.ValidityReport {
@@ -126,6 +132,12 @@ type adaptiveClient struct {
 
 // HandleReport implements ClientSide (the client halves of Figures 3/4).
 func (c *adaptiveClient) HandleReport(st *ClientState, r report.Report, now float64) Outcome {
+	if epochGate(st, r) {
+		// The restarted server lost both its history window and any
+		// pending feedback; asking it to salvage the gap is futile.
+		st.SentTlb = false
+		return degradeDrop(st, r.Time())
+	}
 	switch rep := r.(type) {
 	case *report.BSReport:
 		out := applyBS(st, rep, &c.scratch)

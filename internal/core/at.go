@@ -54,6 +54,13 @@ func (c *atClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	if !ok {
 		panic("core: at client received " + r.Kind().String())
 	}
+	// A recovery marker the client predates forces the same drop the
+	// contiguity test would (no broadcasts happen while the server is
+	// down, so the test usually fires anyway; the gate covers restarts
+	// quicker than one interval).
+	if epochGate(st, ar) {
+		return degradeDrop(st, ar.T)
+	}
 	// Contiguity test: the previous report was at T-L. Allow a relative
 	// epsilon for accumulated floating-point drift in the broadcast
 	// schedule.

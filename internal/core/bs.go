@@ -46,6 +46,12 @@ func (c *bsClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	if !ok {
 		panic("core: bs client received " + r.Kind().String())
 	}
+	// The rebuilt structure is derived from durable metadata, but a
+	// restarted server cannot vouch that it covers the client's gap;
+	// degrade conservatively below the trust floor.
+	if epochGate(st, br) {
+		return degradeDrop(st, br.T)
+	}
 	return applyBS(st, br, &c.scratch)
 }
 

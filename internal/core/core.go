@@ -99,6 +99,9 @@ type ClientState struct {
 	// CheckSeq numbers check requests so replies to abandoned exchanges
 	// are recognized and ignored.
 	CheckSeq int64
+	// Epoch is the last recovery epoch seen in a report marker (0 until
+	// the server first crashes; see report.RecoveryMarker).
+	Epoch int32
 
 	// Ext holds scheme-specific per-client state (e.g. the SIG scheme's
 	// previously heard combined signatures).
@@ -135,6 +138,11 @@ type Outcome struct {
 	Send *ControlMsg
 	// DroppedAll reports that the entire cache was discarded.
 	DroppedAll bool
+	// EpochDegrade reports that this outcome was forced by a recovery
+	// marker: the report's server cannot vouch for the client's gap, so
+	// the scheme degraded (dropped the cache, or fell back to checking)
+	// rather than risk serving stale data.
+	EpochDegrade bool
 }
 
 // ClientSide is the per-client half of a scheme. Implementations keep all
@@ -146,6 +154,14 @@ type ClientSide interface {
 	// HandleValidity processes a validity reply (checking scheme only;
 	// others panic, since the server never sends one).
 	HandleValidity(st *ClientState, v *report.ValidityReport, now float64) Outcome
+}
+
+// CrashRecoverable is implemented by server sides holding in-memory
+// protocol state beyond the durable database; the hosting server calls
+// OnServerCrash when the simulated server process dies, modeling the
+// loss of that state (pending feedback, incremental signatures).
+type CrashRecoverable interface {
+	OnServerCrash()
 }
 
 // Scheme names and constructs the two halves of an invalidation method.
@@ -174,6 +190,32 @@ func applyTSEntries(st *ClientState, entries []db.UpdateEntry, t float64) {
 func dropAll(st *ClientState) {
 	st.Cache.DropAll()
 	st.Drops++
+}
+
+// epochGate inspects r's recovery marker. It records the newest epoch in
+// st and reports whether the client must degrade: a Tlb below the trust
+// floor means the restarted server cannot vouch for the report's coverage
+// of the client's gap (its in-memory history died with it), so applying
+// the report normally could validate stale items.
+func epochGate(st *ClientState, r report.Report) bool {
+	m := report.MarkerOf(r)
+	if m == nil {
+		return false
+	}
+	st.Epoch = m.Epoch
+	return st.Tlb < m.TrustFloor
+}
+
+// degradeDrop is the default epoch-degrade action (every scheme except
+// ts-check): discard whatever the cache holds and revalidate at the
+// report time, exactly as if the client had slept past the window.
+func degradeDrop(st *ClientState, t float64) Outcome {
+	dropped := st.Cache.Len() > 0
+	if dropped {
+		dropAll(st)
+	}
+	validate(st, t)
+	return Outcome{Ready: true, DroppedAll: dropped, EpochDegrade: true}
 }
 
 // validate marks the cache validated through t.

@@ -152,6 +152,18 @@ func (sv *sigServer) HandleControl(*db.Database, *ControlMsg, float64) *report.V
 	panic("core: sig server received a control message")
 }
 
+// OnServerCrash implements CrashRecoverable: the incrementally maintained
+// combined signatures and fold bookkeeping die with the server; the next
+// BuildReport reconstructs them from the durable database.
+func (sv *sigServer) OnServerCrash() {
+	for j := range sv.combined {
+		sv.combined[j] = 0
+	}
+	sv.folded = make(map[int32]int32)
+	sv.initialized = false
+	sv.lastFold = 0
+}
+
 // sigClientExt is the per-client SIG state, hung off ClientState.Ext.
 type sigClientExt struct {
 	prev    []uint64
@@ -197,6 +209,16 @@ func (c *sigClient) HandleReport(st *ClientState, r report.Report, now float64) 
 	if ext == nil {
 		ext = &sigClientExt{}
 		st.Ext = ext
+	}
+	if epochGate(st, sr) {
+		// The rebuilt combined signatures are a pure function of the
+		// durable database, but the client treats a restart it slept
+		// through as losing its diff baseline: drop and restart from this
+		// report, like a first hearing.
+		out := degradeDrop(st, sr.T)
+		ext.prev = append(ext.prev[:0], sr.Sigs...)
+		ext.hasPrev = true
+		return out
 	}
 	if !ext.hasPrev {
 		// No baseline to diff against: nothing in the cache can be

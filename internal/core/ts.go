@@ -77,7 +77,11 @@ func (c *tsClient) HandleReport(st *ClientState, r report.Report, now float64) O
 		// matter how many reports pass meanwhile.
 		return Outcome{}
 	}
-	if st.Tlb >= tr.T-c.p.WindowSeconds() {
+	// A recovery marker the client's Tlb predates makes the window
+	// untrustworthy even when Tlb falls inside it: the restarted server
+	// no longer remembers updates from the client's gap.
+	degraded := epochGate(st, tr)
+	if !degraded && st.Tlb >= tr.T-c.p.WindowSeconds() {
 		applyTSEntries(st, tr.Entries, tr.T)
 		validate(st, tr.T)
 		return Outcome{Ready: true}
@@ -85,19 +89,19 @@ func (c *tsClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	if !c.checking {
 		dropAll(st)
 		validate(st, tr.T)
-		return Outcome{Ready: true, DroppedAll: true}
+		return Outcome{Ready: true, DroppedAll: true, EpochDegrade: degraded}
 	}
 	if st.Cache.Len() == 0 {
 		// Nothing to salvage; an empty cache is trivially valid.
 		validate(st, tr.T)
-		return Outcome{Ready: true}
+		return Outcome{Ready: true, EpochDegrade: degraded}
 	}
 	st.PendingCheckIDs = st.Cache.IDs(st.PendingCheckIDs[:0])
 	st.AwaitingValidity = true
 	st.CheckSeq++
 	ids := make([]int32, len(st.PendingCheckIDs))
 	copy(ids, st.PendingCheckIDs)
-	return Outcome{Send: &ControlMsg{Check: &report.CheckRequest{
+	return Outcome{EpochDegrade: degraded, Send: &ControlMsg{Check: &report.CheckRequest{
 		Client: st.ID,
 		Seq:    st.CheckSeq,
 		Tlb:    st.Tlb,

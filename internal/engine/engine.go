@@ -11,6 +11,7 @@ import (
 	"mobicache/internal/client"
 	"mobicache/internal/core"
 	"mobicache/internal/db"
+	"mobicache/internal/faults"
 	"mobicache/internal/netsim"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
@@ -86,7 +87,16 @@ type Config struct {
 	Trace *trace.Tracer
 	// ReportLossProb injects per-client report reception failures
 	// (failure-injection extension; the paper assumes perfect reception).
+	// It is the degenerate single-state case of Faults.DownLoss; setting
+	// both is a configuration error.
 	ReportLossProb float64
+	// Faults configures the deterministic fault-injection layer: bursty
+	// (Gilbert–Elliott) downlink and uplink loss/corruption, server
+	// crash/restart, and the client uplink timeout/backoff policy. The
+	// zero value injects nothing, schedules nothing, and consumes no
+	// randomness, keeping seeded results bit-identical to fault-free
+	// builds.
+	Faults faults.Config
 }
 
 // Default returns Table 1's settings with the UNIFORM workload: 100
@@ -146,8 +156,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: invalid disconnection probability")
 	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
 		return fmt.Errorf("engine: invalid report loss probability")
+	case c.ReportLossProb > 0 && c.Faults.DownLoss.Enabled():
+		return fmt.Errorf("engine: ReportLossProb and Faults.DownLoss both set; use one loss model")
 	case c.Workload.Query == nil || c.Workload.Update == nil:
 		return fmt.Errorf("engine: workload not set")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	if _, err := core.Lookup(c.Scheme); err != nil {
 		return err
@@ -207,6 +222,19 @@ type Results struct {
 	UpControlBits, UpDataBits                     float64
 	DownUtilization, UpUtilization                float64
 
+	// Fault injection and recovery.
+	ReportsCorrupted    int64   // reports destroyed by corruption (decode errors)
+	UplinkMsgsLost      int64   // uplink messages destroyed by the channel model
+	UplinkMsgsCorrupted int64   // uplink messages delivered corrupted and discarded
+	Retries             int64   // uplink exchange timeouts (all kinds)
+	RetriesPerQuery     float64 // Retries / QueriesAnswered
+	EpochDegrades       int64   // recovery-marker-forced degradations
+	ServerCrashes       int64
+	ServerDowntime      float64 // total seconds the server was dead
+	// MeanRecoveryLatency averages, per crash, the client-visible blackout:
+	// crash instant to first post-restart report broadcast.
+	MeanRecoveryLatency float64
+
 	// Client behaviour.
 	ReportsLost               int64
 	MeanResponse, MaxResponse float64
@@ -256,6 +284,10 @@ func Run(c Config) (*Results, error) {
 	down := netsim.NewChannel(k, "downlink", c.DownlinkBps)
 	up := netsim.NewChannel(k, "uplink", c.UplinkBps)
 
+	var crashRNG *rng.Source
+	if c.Faults.CrashMTBF > 0 {
+		crashRNG = root.Split(2)
+	}
 	srv := server.New(k, d, down, server.Config{
 		Scheme:                 scheme.NewServer(params),
 		Params:                 params,
@@ -264,12 +296,31 @@ func Run(c Config) (*Results, error) {
 		UpdateItems:            c.Workload.UpdateItems,
 		MeanUpdateInterarrival: c.MeanUpdate,
 		Tracer:                 c.Trace,
+		CrashMTBF:              c.Faults.CrashMTBF,
+		CrashMTTR:              c.Faults.CrashMTTR,
+		CrashRNG:               crashRNG,
 	}, root.Split(0))
 
 	res := &Results{
 		Config:      c,
 		ReportsSent: make(map[string]int64),
 		ReportBits:  make(map[string]float64),
+	}
+	// The shared uplink runs one Gilbert–Elliott chain, stepped per
+	// completed transmission. A corrupted uplink message reaches a server
+	// that cannot parse it; both verdicts end as a discard, distinguished
+	// in the counters and trace.
+	if upGE := faults.NewGE(c.Faults.UpLoss, root.Split(3)); upGE != nil {
+		up.SetFaults(upGE, func(class netsim.Class, v faults.Verdict) {
+			kind := trace.FaultLoss
+			if v == faults.Corrupt {
+				kind = trace.FaultCorrupt
+				res.UplinkMsgsCorrupted++
+			} else {
+				res.UplinkMsgsLost++
+			}
+			c.Trace.Record(trace.Event{T: k.Now(), Kind: kind, Client: -1, A: int64(class)})
+		})
 	}
 	var hook func(clientID, itemID, version int32, tlb float64)
 	if c.ConsistencyCheck {
@@ -308,6 +359,8 @@ func Run(c Config) (*Results, error) {
 			RespHist:         respHist,
 			Tracer:           c.Trace,
 			ReportLossProb:   c.ReportLossProb,
+			DownLoss:         c.Faults.DownLoss,
+			Retry:            c.Faults.Retry,
 		}, root.Split(1000+uint64(i)))
 		clients[i] = cl
 		srv.Attach(cl)
@@ -342,6 +395,8 @@ func Run(c Config) (*Results, error) {
 			down.ResetStats()
 			up.ResetStats()
 			*respHist = *stats.NewHistogram(respHist.Lo, respHist.Hi, respHist.Bins())
+			res.UplinkMsgsLost = 0
+			res.UplinkMsgsCorrupted = 0
 			// Restart the batch-means sampler from the warmed-up state.
 			prevCompleted = 0
 			batch = stats.NewBatchMeans(50)
@@ -367,6 +422,9 @@ func Run(c Config) (*Results, error) {
 		res.ItemsFromCache += cl.ItemsFromCache
 		res.ItemsFetched += cl.ItemsRequested
 		res.ReportsLost += cl.ReportsLost
+		res.ReportsCorrupted += cl.ReportsCorrupted
+		res.Retries += cl.Retries
+		res.EpochDegrades += cl.EpochDegrades
 		res.StaleValidityDropped += cl.StaleValidityDropped
 		if cl.RespTime.N() > 0 {
 			resp.Observe(cl.RespTime.Mean())
@@ -392,6 +450,14 @@ func Run(c Config) (*Results, error) {
 		res.ReportBits[kind.String()] = bits
 	}
 	res.IROverruns = srv.IROverruns
+	res.ServerCrashes = srv.Crashes
+	res.ServerDowntime = srv.Downtime
+	if srv.RecoveryLatency.N() > 0 {
+		res.MeanRecoveryLatency = srv.RecoveryLatency.Mean()
+	}
+	if res.QueriesAnswered > 0 {
+		res.RetriesPerQuery = float64(res.Retries) / float64(res.QueriesAnswered)
+	}
 	res.DownReportBits = down.Bits(netsim.ClassReport)
 	res.DownControlBits = down.Bits(netsim.ClassControl)
 	res.DownDataBits = down.Bits(netsim.ClassData)

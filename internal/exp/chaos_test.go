@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+func TestChaosFaultsLevels(t *testing.T) {
+	f0 := ChaosFaults(0)
+	if f0.DownLoss.Enabled() || f0.UpLoss.Enabled() || f0.CrashMTBF != 0 {
+		t.Fatalf("level 0 injects faults: %+v", f0)
+	}
+	if !f0.Retry.Enabled() {
+		t.Fatal("level 0 disabled the retry policy")
+	}
+	f4 := ChaosFaults(4)
+	if f4.DownLoss.LossBad != 0.5 || f4.DownLoss.CorruptBad != 0.1 ||
+		f4.UpLoss.LossBad != 0.3 || f4.CrashMTBF != 1500 {
+		t.Fatalf("level 4 mapping: %+v", f4)
+	}
+	// Severity is monotone in the level: hotter bursts, faster crashes.
+	prev := ChaosFaults(1)
+	for _, lvl := range []float64{2, 3, 4} {
+		cur := ChaosFaults(lvl)
+		if cur.DownLoss.LossBad <= prev.DownLoss.LossBad || cur.CrashMTBF >= prev.CrashMTBF {
+			t.Fatalf("level %v not harder than previous: %+v", lvl, cur)
+		}
+		prev = cur
+	}
+	// Every level must build a valid engine config.
+	sw := ExtensionSweeps["ext-chaos"]
+	for _, x := range sw.Xs {
+		if err := sw.Configure(x).Validate(); err != nil {
+			t.Fatalf("chaos level %v: %v", x, err)
+		}
+	}
+}
+
+func TestChaosSweepZeroStale(t *testing.T) {
+	// The acceptance bar, in miniature: the hardest chaos level across all
+	// seven schemes, with the stale-read checker armed by the sweep itself.
+	sw := ExtensionSweeps["ext-chaos"]
+	orig := sw.Xs
+	sw.Xs = []float64{4}
+	defer func() { sw.Xs = orig }()
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 7 {
+		t.Fatalf("chaos sweep covers %d schemes, want all 7", len(res.Schemes))
+	}
+	for _, scheme := range res.Schemes {
+		cell := res.Cells[4][scheme]
+		if cell == nil || len(cell.Runs) == 0 {
+			t.Fatalf("%s: no runs", scheme)
+		}
+		run := cell.Runs[0]
+		if run.ConsistencyViolations != 0 {
+			t.Fatalf("%s: stale reads slipped past the sweep check", scheme)
+		}
+		if run.ReportsLost == 0 && run.UplinkMsgsLost == 0 && run.ServerCrashes == 0 {
+			t.Fatalf("%s: level 4 injected nothing", scheme)
+		}
+		if run.QueriesAnswered == 0 {
+			t.Fatalf("%s: answered nothing under chaos", scheme)
+		}
+	}
+}
+
+func TestSweepCheckAborts(t *testing.T) {
+	boom := errors.New("boom")
+	sw := &Sweep{
+		ID: "check-test", XLabel: "x", Xs: []float64{0.1},
+		Schemes:   []string{"aaw"},
+		Configure: Sweeps["uniform-probdisc"].Configure,
+		Check:     func(r *engine.Results) error { return boom },
+	}
+	r := NewRunner(Options{SimTime: 1000})
+	_, err := r.RunSweep(sw)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("check error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "check-test") {
+		t.Fatalf("error %q does not name the sweep", err)
+	}
+}
+
+func TestChaosFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"ext-chaos-thr", "ext-chaos-upl"} {
+		f, err := ExtensionByID(id)
+		if err != nil || f.Sweep.ID != "ext-chaos" {
+			t.Fatalf("%s: %+v %v", id, f, err)
+		}
+	}
+}

@@ -69,6 +69,9 @@ type Sweep struct {
 	Schemes []string
 	// Configure builds the run configuration for one point.
 	Configure func(x float64) engine.Config
+	// Check, when non-nil, inspects every completed run; an error aborts
+	// the sweep (the chaos family asserts zero stale reads this way).
+	Check func(r *engine.Results) error
 }
 
 // Figure ties a sweep and metric to a numbered figure of the paper.
@@ -302,6 +305,11 @@ func (r *Runner) RunSweep(s *Sweep) (*SweepResult, error) {
 				run, err := engine.Run(c)
 				if err != nil {
 					return nil, fmt.Errorf("sweep %s x=%v scheme=%s: %w", s.ID, x, scheme, err)
+				}
+				if s.Check != nil {
+					if err := s.Check(run); err != nil {
+						return nil, fmt.Errorf("sweep %s x=%v scheme=%s seed=%d: %w", s.ID, x, scheme, seed, err)
+					}
 				}
 				cell.Runs = append(cell.Runs, run)
 				thr.Observe(Throughput.extract(run))

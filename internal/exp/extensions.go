@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"fmt"
+
 	"mobicache/internal/engine"
+	"mobicache/internal/faults"
 	"mobicache/internal/workload"
 )
 
@@ -79,6 +82,77 @@ var ExtensionSweeps = map[string]*Sweep{
 			return c
 		},
 	},
+}
+
+// ChaosFaults maps a chaos level (0..4) to a compound fault configuration.
+// Level 0 is fault-free; each step up makes downlink/uplink loss bursts
+// hotter (Gilbert–Elliott bad-state loss and corruption probabilities) and
+// server crashes more frequent. Level 4 is the hardest validated setting:
+// half the bad-state downlink traffic lost, a tenth corrupted, crashes
+// every ~1500 s. The retry policy is always on — without timeouts a fetch
+// swallowed by a dead server would hang its client forever.
+func ChaosFaults(level float64) faults.Config {
+	f := faults.Config{
+		Retry: faults.RetryPolicy{
+			Timeout:     240,
+			Backoff:     2,
+			MaxDelay:    1920,
+			Jitter:      0.2,
+			MaxAttempts: 6,
+		},
+	}
+	if level <= 0 {
+		return f
+	}
+	f.DownLoss = faults.GEParams{
+		PGoodBad:   0.05,
+		PBadGood:   0.2,
+		LossBad:    0.125 * level,
+		CorruptBad: 0.025 * level,
+	}
+	f.UpLoss = faults.GEParams{
+		PGoodBad: 0.05,
+		PBadGood: 0.2,
+		LossBad:  0.075 * level,
+	}
+	f.CrashMTBF = 6000 / level
+	f.CrashMTTR = 120
+	return f
+}
+
+// chaosCheck is the ext-chaos acceptance bar: the consistency checker must
+// see zero stale reads no matter how hard the faults hit.
+func chaosCheck(r *engine.Results) error {
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("chaos: %s served %d stale read(s); first: %v",
+			r.Config.Scheme, r.ConsistencyViolations, r.FirstViolation)
+	}
+	return nil
+}
+
+func init() {
+	// Chaos robustness sweep: compound bursty loss + corruption + server
+	// crash/restart, jointly scaled by the chaos level, for all seven
+	// schemes with the stale-read checker armed. Defined in init (not a
+	// literal) so the Check hook can live next to the family.
+	ExtensionSweeps["ext-chaos"] = &Sweep{
+		ID: "ext-chaos", XLabel: "Chaos Level (burst loss x crash rate)",
+		Xs:      []float64{0, 1, 2, 3, 4},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ProbDisc = 0.1
+			c.MeanDisc = 400
+			c.ConsistencyCheck = true
+			c.Faults = ChaosFaults(x)
+			return c
+		},
+		Check: chaosCheck,
+	}
+	Extensions = append(Extensions,
+		Figure{ID: "ext-chaos-thr", Title: "ROBUSTNESS: throughput vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: Throughput},
+		Figure{ID: "ext-chaos-upl", Title: "ROBUSTNESS: uplink cost vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: UplinkPerQuery},
+	)
 }
 
 // Extensions are rendered like figures; IDs are stable names rather than

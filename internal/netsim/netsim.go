@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 
+	"mobicache/internal/faults"
 	"mobicache/internal/sim"
 )
 
@@ -57,6 +58,10 @@ type Channel struct {
 
 	bits     [numClasses]float64
 	messages [numClasses]int64
+	lost     [numClasses]int64
+
+	ge      *faults.GE
+	onFault func(class Class, v faults.Verdict)
 }
 
 // NewChannel creates a channel with the given bandwidth in bits/second.
@@ -79,6 +84,18 @@ func (c *Channel) Name() string { return c.name }
 // Bandwidth reports the channel bandwidth in bits/second.
 func (c *Channel) Bandwidth() float64 { return c.bw }
 
+// SetFaults installs a Gilbert–Elliott loss/corruption model consulted
+// once per completed transmission: a faulted message occupies the channel
+// for its full transmission time but never reaches its receiver (its
+// onDelivered callback is suppressed). onFault, if non-nil, observes each
+// non-Deliver verdict for counting and tracing. Pass ge == nil to remove
+// the model; a channel without one behaves exactly as before, consuming
+// no randomness.
+func (c *Channel) SetFaults(ge *faults.GE, onFault func(class Class, v faults.Verdict)) {
+	c.ge = ge
+	c.onFault = onFault
+}
+
 // Send queues a message of the given size and class. onDelivered, if not
 // nil, fires when the last bit has been transmitted. The report class
 // preempts in-progress lower-class transmissions (preemptive-resume).
@@ -91,11 +108,26 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) {
 	}
 	c.bits[class] += bits
 	c.messages[class]++
+	onDone := onDelivered
+	if c.ge != nil {
+		onDone = func() {
+			if v := c.ge.Next(); v != faults.Deliver {
+				c.lost[class]++
+				if c.onFault != nil {
+					c.onFault(class, v)
+				}
+				return
+			}
+			if onDelivered != nil {
+				onDelivered()
+			}
+		}
+	}
 	c.fac.Submit(&sim.FacilityRequest{
 		Priority: int(class),
 		Preempt:  class == ClassReport,
 		Duration: bits / c.bw,
-		OnDone:   onDelivered,
+		OnDone:   onDone,
 	})
 }
 
@@ -104,7 +136,20 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) {
 func (c *Channel) ResetStats() {
 	c.bits = [numClasses]float64{}
 	c.messages = [numClasses]int64{}
+	c.lost = [numClasses]int64{}
 	c.fac.ResetStats()
+}
+
+// Lost reports messages destroyed by the installed fault model in a class.
+func (c *Channel) Lost(class Class) int64 { return c.lost[class] }
+
+// TotalLost reports fault-destroyed messages across all classes.
+func (c *Channel) TotalLost() int64 {
+	t := int64(0)
+	for _, n := range c.lost {
+		t += n
+	}
+	return t
 }
 
 // TxTime reports how long a message of the given size occupies the channel.

@@ -79,6 +79,27 @@ func (k Kind) String() string {
 	}
 }
 
+// RecoveryMarker is the recovery-epoch announcement a restarted server
+// attaches to every report it broadcasts after a crash. The stateless
+// server keeps the database durable, but its in-memory update-history
+// window (and any pending feedback) dies with it; after restart it can
+// only vouch for history from TrustFloor (the restart time) onward.
+// Clients whose Tlb predates TrustFloor must not trust the report's
+// coverage of the gap — they degrade per scheme (drop or check) instead
+// of serving possibly-stale data.
+type RecoveryMarker struct {
+	// Epoch counts restarts; it changes whenever the marker's meaning
+	// does, letting clients and traces tell recovery generations apart.
+	Epoch int32
+	// TrustFloor is the earliest time the report's history coverage is
+	// trustworthy (the server's last restart).
+	TrustFloor float64
+}
+
+// MarkerBits reports the analytic downlink cost of an attached marker:
+// a 32-bit epoch plus one timestamp.
+func MarkerBits(p Params) int { return 32 + p.TSBits }
+
 // Report is a broadcast invalidation report.
 type Report interface {
 	// Kind identifies the representation.
@@ -99,6 +120,9 @@ type TSReport struct {
 	WindowStart float64
 	Entries     []db.UpdateEntry
 	Dummy       *DummyRecord
+	// Marker, when non-nil, is the recovery-epoch announcement of a
+	// restarted server (see RecoveryMarker).
+	Marker *RecoveryMarker
 }
 
 // DummyRecord is AAW's in-band window-enlargement marker: a reserved id
@@ -127,6 +151,9 @@ func (r *TSReport) SizeBits(p Params) int {
 	if r.Dummy != nil {
 		size += per
 	}
+	if r.Marker != nil {
+		size += MarkerBits(p)
+	}
 	return size
 }
 
@@ -134,6 +161,9 @@ func (r *TSReport) SizeBits(p Params) int {
 type BSReport struct {
 	T float64
 	S *bitseq.Structure
+	// Marker, when non-nil, is a restarted server's recovery-epoch
+	// announcement.
+	Marker *RecoveryMarker
 }
 
 // Kind implements Report.
@@ -144,13 +174,22 @@ func (r *BSReport) Time() float64 { return r.T }
 
 // SizeBits implements Report: bT for the broadcast timestamp plus the
 // structure (≈ 2N bits + bT log2 N).
-func (r *BSReport) SizeBits(p Params) int { return p.TSBits + r.S.SizeBits(p.TSBits) }
+func (r *BSReport) SizeBits(p Params) int {
+	size := p.TSBits + r.S.SizeBits(p.TSBits)
+	if r.Marker != nil {
+		size += MarkerBits(p)
+	}
+	return size
+}
 
 // ATReport is the amnesic-terminals report: only the ids updated during
 // the last broadcast interval, with no per-item timestamps.
 type ATReport struct {
 	T   float64
 	IDs []int32
+	// Marker, when non-nil, is a restarted server's recovery-epoch
+	// announcement.
+	Marker *RecoveryMarker
 }
 
 // Kind implements Report.
@@ -160,7 +199,13 @@ func (r *ATReport) Kind() Kind { return KindAT }
 func (r *ATReport) Time() float64 { return r.T }
 
 // SizeBits implements Report.
-func (r *ATReport) SizeBits(p Params) int { return p.TSBits + len(r.IDs)*p.IDBits() }
+func (r *ATReport) SizeBits(p Params) int {
+	size := p.TSBits + len(r.IDs)*p.IDBits()
+	if r.Marker != nil {
+		size += MarkerBits(p)
+	}
+	return size
+}
 
 // CheckRequest is the uplink message of the simple-checking scheme: the
 // reconnecting client uploads every cached id plus its last-report
@@ -208,34 +253,99 @@ func (m *ValidityReport) SizeBits(p Params) int {
 // ErrBadMessage reports a malformed encoded message.
 var ErrBadMessage = errors.New("report: malformed message")
 
+// MarkerOf returns the recovery marker attached to r, or nil.
+func MarkerOf(r Report) *RecoveryMarker {
+	switch m := r.(type) {
+	case *TSReport:
+		return m.Marker
+	case *BSReport:
+		return m.Marker
+	case *ATReport:
+		return m.Marker
+	case *SIGReport:
+		return m.Marker
+	default:
+		return nil
+	}
+}
+
+// ApplyRecovery attaches marker m to r and censors history the restarted
+// server cannot vouch for: TS entries at or before the trust floor are
+// dropped (the rebuilt window starts at the floor), and an AAW dummy
+// record reaching below the floor is stripped. BS/AT/SIG report bodies
+// are rebuilt from durable metadata, so only the marker is attached; the
+// client-side epoch gate supplies the conservative degradation.
+func ApplyRecovery(r Report, m RecoveryMarker) {
+	switch rep := r.(type) {
+	case *TSReport:
+		mk := m
+		rep.Marker = &mk
+		// Entries are most-recent-first; cut at the first entry the
+		// restarted server no longer remembers.
+		for i, e := range rep.Entries {
+			if e.TS <= m.TrustFloor {
+				rep.Entries = rep.Entries[:i]
+				break
+			}
+		}
+		if rep.WindowStart < m.TrustFloor {
+			rep.WindowStart = m.TrustFloor
+		}
+		if rep.Dummy != nil && rep.Dummy.Tlb < m.TrustFloor {
+			rep.Dummy = nil
+		}
+	case *BSReport:
+		mk := m
+		rep.Marker = &mk
+	case *ATReport:
+		mk := m
+		rep.Marker = &mk
+	case *SIGReport:
+		mk := m
+		rep.Marker = &mk
+	default:
+		panic(fmt.Sprintf("report: cannot apply recovery to %T", r))
+	}
+}
+
 // Framing overheads added by the self-describing codecs on top of the
-// analytic sizes: a kind tag and, where needed, an element count.
+// analytic sizes: a kind tag, a marker-present flag, and, where needed,
+// an element count.
 const (
-	kindTagBits = 3
-	countBits   = 24
+	kindTagBits    = 3
+	markerFlagBits = 1
+	countBits      = 24
 )
 
 // FramingBits reports the codec overhead for a report of kind k.
 func FramingBits(k Kind) int {
 	switch k {
 	case KindTS, KindTSExt, KindAT:
-		return kindTagBits + countBits
+		return kindTagBits + markerFlagBits + countBits
 	case KindSIG:
-		return kindTagBits + countBits + 8 // + the signature width field
+		return kindTagBits + markerFlagBits + countBits + 8 // + the signature width field
 	case KindBS:
-		return kindTagBits
+		return kindTagBits + markerFlagBits
 	default:
-		return kindTagBits
+		return kindTagBits + markerFlagBits
 	}
 }
 
 // Encode serializes r with bit-exact field widths (timestamps are 64-bit
-// floats; use Params{TSBits: 64} for matching analytic sizes).
+// floats; use Params{TSBits: 64} for matching analytic sizes). The frame
+// header — kind tag, marker flag, optional marker — is common to every
+// kind and written here; the per-kind body follows.
 func Encode(r Report, p Params, w *bitio.Writer) {
 	idBits := p.IDBits()
+	w.WriteBits(uint64(r.Kind()), kindTagBits)
+	marker := MarkerOf(r)
+	w.WriteBool(marker != nil)
+	if marker != nil {
+		w.WriteBits(uint64(uint32(marker.Epoch)), 32)
+		w.WriteFloat(marker.TrustFloor)
+	}
 	switch m := r.(type) {
 	case *TSReport:
-		w.WriteBits(uint64(m.Kind()), kindTagBits)
 		w.WriteFloat(m.T)
 		w.WriteBits(uint64(len(m.Entries)), countBits)
 		for _, e := range m.Entries {
@@ -248,11 +358,9 @@ func Encode(r Report, p Params, w *bitio.Writer) {
 			w.WriteFloat(m.Dummy.Tlb)
 		}
 	case *BSReport:
-		w.WriteBits(uint64(KindBS), kindTagBits)
 		w.WriteFloat(m.T)
 		m.S.Encode(w)
 	case *ATReport:
-		w.WriteBits(uint64(KindAT), kindTagBits)
 		w.WriteFloat(m.T)
 		w.WriteBits(uint64(len(m.IDs)), countBits)
 		for _, id := range m.IDs {
@@ -267,14 +375,44 @@ func Encode(r Report, p Params, w *bitio.Writer) {
 
 // Decode parses a report previously produced by Encode. The window-start
 // time of TS reports is not carried on the wire (clients derive it from
-// the protocol parameters), so it is zero in the result.
+// the protocol parameters), so it is zero in the result — except after a
+// recovery marker, which raises it to the trust floor like ApplyRecovery
+// does on the sending side.
 func Decode(p Params, r *bitio.Reader) (Report, error) {
 	idBits := p.IDBits()
 	kindRaw, err := r.ReadBits(kindTagBits)
 	if err != nil {
 		return nil, err
 	}
-	switch Kind(kindRaw) {
+	hasMarker, err := r.ReadBool()
+	if err != nil {
+		return nil, err
+	}
+	var marker *RecoveryMarker
+	if hasMarker {
+		epoch, err := r.ReadBits(32)
+		if err != nil {
+			return nil, err
+		}
+		floor, err := r.ReadFloat()
+		if err != nil {
+			return nil, err
+		}
+		marker = &RecoveryMarker{Epoch: int32(uint32(epoch)), TrustFloor: floor}
+	}
+	rep, err := decodeBody(Kind(kindRaw), p, idBits, r)
+	if err != nil {
+		return nil, err
+	}
+	if marker != nil {
+		ApplyRecovery(rep, *marker)
+	}
+	return rep, nil
+}
+
+// decodeBody parses the per-kind payload after the common frame header.
+func decodeBody(kind Kind, p Params, idBits int, r *bitio.Reader) (Report, error) {
+	switch kind {
 	case KindTS, KindTSExt:
 		t, err := r.ReadFloat()
 		if err != nil {
@@ -296,7 +434,7 @@ func Decode(p Params, r *bitio.Reader) (Report, error) {
 			}
 			rep.Entries = append(rep.Entries, db.UpdateEntry{ID: int32(id), TS: ts})
 		}
-		if Kind(kindRaw) == KindTSExt {
+		if kind == KindTSExt {
 			id, err := r.ReadBits(idBits)
 			if err != nil {
 				return nil, err
@@ -344,4 +482,22 @@ func Decode(p Params, r *bitio.Reader) (Report, error) {
 	default:
 		return nil, ErrBadMessage
 	}
+}
+
+// CorruptDecode models a corrupted-in-flight report: it encodes r into w
+// (resetting it first), then attempts to decode the bitstream truncated
+// by its final bit — the way a frame whose checksum fails looks to the
+// receiver. The result is always a decode error, never a silently wrong
+// report; callers must surface (count, trace) the returned error.
+func CorruptDecode(r Report, p Params, w *bitio.Writer) error {
+	w.Reset()
+	Encode(r, p, w)
+	rd := bitio.NewReader(w.Bytes(), w.Len()-1)
+	if _, err := Decode(p, rd); err != nil {
+		return err
+	}
+	// Every codec path reads through the last bit of its frame, so a
+	// truncated stream cannot decode; reaching here means a codec
+	// regression, reported rather than ignored.
+	return ErrBadMessage
 }

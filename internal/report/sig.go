@@ -15,6 +15,9 @@ type SIGReport struct {
 	Sigs []uint64
 	// SigBits is the signature width in bits.
 	SigBits int
+	// Marker, when non-nil, is a restarted server's recovery-epoch
+	// announcement.
+	Marker *RecoveryMarker
 }
 
 // Kind implements Report.
@@ -24,11 +27,17 @@ func (r *SIGReport) Kind() Kind { return KindSIG }
 func (r *SIGReport) Time() float64 { return r.T }
 
 // SizeBits implements Report: bT plus K signatures of SigBits each.
-func (r *SIGReport) SizeBits(p Params) int { return p.TSBits + len(r.Sigs)*r.SigBits }
+func (r *SIGReport) SizeBits(p Params) int {
+	size := p.TSBits + len(r.Sigs)*r.SigBits
+	if r.Marker != nil {
+		size += MarkerBits(p)
+	}
+	return size
+}
 
-// encodeSIG serializes a SIG report (called from Encode).
+// encodeSIG serializes a SIG report body after the common frame header
+// (called from Encode).
 func encodeSIG(m *SIGReport, w *bitio.Writer) {
-	w.WriteBits(uint64(KindSIG), kindTagBits)
 	w.WriteFloat(m.T)
 	w.WriteBits(uint64(m.SigBits), 8)
 	w.WriteBits(uint64(len(m.Sigs)), countBits)

@@ -12,6 +12,7 @@ import (
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
 	"mobicache/internal/sim"
+	"mobicache/internal/stats"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -50,6 +51,18 @@ type Config struct {
 	MeanUpdateInterarrival float64
 	// Tracer records protocol events when non-nil.
 	Tracer *trace.Tracer
+	// CrashMTBF and CrashMTTR enable server crash/restart fault injection
+	// (exponential mean time between failures and mean repair time, both
+	// in seconds; 0 disables). While down, the server broadcasts nothing
+	// and drops every uplink message. Restarting loses the in-memory
+	// protocol state (core.CrashRecoverable) but not the durable database;
+	// every report after the first crash carries a report.RecoveryMarker
+	// so clients can tell which history gaps the server no longer vouches
+	// for. The update stream models the origin tier and keeps running.
+	CrashMTBF float64
+	CrashMTTR float64
+	// CrashRNG drives crash/repair timing; required when CrashMTBF > 0.
+	CrashRNG *rng.Source
 }
 
 // Server is the mobile support station.
@@ -63,6 +76,13 @@ type Server struct {
 
 	updRNG *rng.Source
 
+	// Crash/restart state.
+	isDown     bool
+	epoch      int32   // recovery epochs announced so far (0 = never crashed)
+	trustFloor float64 // last restart time
+	crashedAt  float64 // start of the current/most recent outage
+	awaitingIR bool    // restart happened, first post-restart report not yet built
+
 	// Statistics.
 	ReportsSent   map[report.Kind]int64
 	ReportBits    map[report.Kind]float64
@@ -71,6 +91,12 @@ type Server struct {
 	ChecksServed  int64
 	FeedbacksSeen int64
 	ItemsServed   int64
+	Crashes       int64
+	Downtime      float64
+	// RecoveryLatency observes, per crash, the blackout clients saw: from
+	// the crash instant to the first post-restart report broadcast.
+	RecoveryLatency  stats.Tally
+	DroppedWhileDown int64 // uplink messages that arrived at a dead server
 }
 
 // New creates a server. updSeed feeds the update process RNG.
@@ -124,12 +150,59 @@ func (s *Server) ResetStats() {
 	s.ChecksServed = 0
 	s.FeedbacksSeen = 0
 	s.ItemsServed = 0
+	s.Crashes = 0
+	s.Downtime = 0
+	s.RecoveryLatency = stats.Tally{}
+	s.DroppedWhileDown = 0
 }
 
-// Start launches the update and broadcast processes.
+// Start launches the update and broadcast processes, plus the
+// crash/restart process when fault injection is configured.
 func (s *Server) Start() {
 	s.StartUpdates()
 	s.StartBroadcast()
+	if s.cfg.CrashMTBF > 0 {
+		if s.cfg.CrashRNG == nil {
+			panic("server: CrashMTBF set without CrashRNG")
+		}
+		s.k.Go("server-crashes", s.crashLoop)
+	}
+}
+
+// Down reports whether the server is currently crashed.
+func (s *Server) Down() bool { return s.isDown }
+
+// Epoch reports the current recovery epoch (0 until the first crash).
+func (s *Server) Epoch() int32 { return s.epoch }
+
+// crashLoop alternates exponential up-times and outages. A crash loses
+// every piece of in-memory protocol state — the scheme's history window
+// is implicit in the durable database, so its loss is modeled by the
+// recovery marker truncating post-restart reports (report.ApplyRecovery);
+// explicitly held state (pending feedback, incremental signatures) is
+// cleared through core.CrashRecoverable.
+func (s *Server) crashLoop(p *sim.Proc) {
+	for {
+		p.Hold(s.cfg.CrashRNG.Exp(s.cfg.CrashMTBF))
+		now := p.Now()
+		s.isDown = true
+		s.crashedAt = now
+		s.epoch++
+		s.Crashes++
+		if cr, ok := s.cfg.Scheme.(core.CrashRecoverable); ok {
+			cr.OnServerCrash()
+		}
+		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ServerCrash,
+			Client: -1, B: int64(s.epoch)})
+		p.Hold(s.cfg.CrashRNG.Exp(s.cfg.CrashMTTR))
+		now = p.Now()
+		s.isDown = false
+		s.trustFloor = now
+		s.awaitingIR = true
+		s.Downtime += now - s.crashedAt
+		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ServerRestart,
+			Client: -1, B: int64(s.epoch)})
+	}
 }
 
 // StartUpdates launches only the update process. In a multi-cell setup
@@ -166,6 +239,11 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 	for i := int64(1); ; i++ {
 		t := float64(i) * s.cfg.Params.L
 		p.HoldUntil(t)
+		if s.isDown {
+			// A dead server broadcasts nothing; clients see a silent
+			// period boundary exactly as if the report were lost.
+			continue
+		}
 		if s.lastIRDone > t {
 			// The previous report is still being transmitted: the channel
 			// cannot start this one on time. Count it; the facility will
@@ -173,6 +251,16 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 			s.IROverruns++
 		}
 		r := s.cfg.Scheme.BuildReport(s.db, t)
+		if s.epoch > 0 {
+			// Every report after the first crash announces the current
+			// epoch and trust floor; ApplyRecovery also censors any
+			// history claims reaching below the floor.
+			report.ApplyRecovery(r, report.RecoveryMarker{Epoch: s.epoch, TrustFloor: s.trustFloor})
+		}
+		if s.awaitingIR {
+			s.awaitingIR = false
+			s.RecoveryLatency.Observe(t - s.crashedAt)
+		}
 		bits := float64(r.SizeBits(s.cfg.Params.Rep))
 		kind := r.Kind()
 		s.ReportsSent[kind]++
@@ -194,6 +282,11 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 // OnControl is the uplink endpoint for validation messages; the channel
 // layer calls it when a client's control message finishes transmission.
 func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
+	if s.isDown {
+		// Nobody is listening; the client's timeout/backoff recovers.
+		s.DroppedWhileDown++
+		return
+	}
 	if msg.Feedback != nil {
 		s.FeedbacksSeen++
 	}
@@ -218,6 +311,10 @@ func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
 // downlink transmission per requested item. Item payloads are stamped
 // with the version current when their transmission completes.
 func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
+	if s.isDown {
+		s.DroppedWhileDown++
+		return
+	}
 	rc, ok := s.rcv[clientID]
 	if !ok {
 		panic("server: fetch from unknown client")

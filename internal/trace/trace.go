@@ -41,6 +41,21 @@ const (
 	Disconnect
 	// Reconnect: a client woke up.
 	Reconnect
+	// FaultLoss: a message was destroyed by the injected channel fault
+	// model. Client = receiver (-1 for shared uplink losses), A = traffic
+	// class (netsim.Class).
+	FaultLoss
+	// FaultCorrupt: a message arrived corrupted and failed decoding.
+	// Client = receiver (-1 for shared uplink), A = traffic class.
+	FaultCorrupt
+	// ServerCrash: the server process died, losing its in-memory protocol
+	// state. B = the recovery epoch the restart will announce.
+	ServerCrash
+	// ServerRestart: the server came back up. B = recovery epoch.
+	ServerRestart
+	// RetryAttempt: a client timed out an uplink exchange. A = exchange
+	// (0 fetch, 1 check, 2 feedback), B = attempt number (1 = first retry).
+	RetryAttempt
 	numKinds
 )
 
@@ -69,6 +84,16 @@ func (k Kind) String() string {
 		return "disconnect"
 	case Reconnect:
 		return "reconnect"
+	case FaultLoss:
+		return "fault-loss"
+	case FaultCorrupt:
+		return "fault-corrupt"
+	case ServerCrash:
+		return "server-crash"
+	case ServerRestart:
+		return "server-restart"
+	case RetryAttempt:
+		return "retry-attempt"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -23,6 +23,7 @@ import (
 
 	"mobicache/internal/core"
 	"mobicache/internal/engine"
+	"mobicache/internal/faults"
 	"mobicache/internal/multicell"
 	"mobicache/internal/workload"
 )
@@ -58,6 +59,25 @@ func Schemes() []string {
 	sort.Strings(names)
 	return names
 }
+
+// FaultConfig configures the deterministic fault-injection layer
+// (Config.Faults): bursty Gilbert–Elliott loss/corruption on both links,
+// server crash/restart, and the client uplink retry policy. The zero
+// value injects nothing and keeps seeded results bit-identical to
+// fault-free runs.
+type FaultConfig = faults.Config
+
+// GEParams parameterizes a Gilbert–Elliott two-state loss/corruption
+// channel (FaultConfig.DownLoss / UpLoss).
+type GEParams = faults.GEParams
+
+// RetryPolicy is the client uplink timeout/backoff discipline
+// (FaultConfig.Retry).
+type RetryPolicy = faults.RetryPolicy
+
+// Bernoulli is the degenerate single-state loss model: each message lost
+// independently with probability p (the legacy ReportLossProb behaviour).
+func Bernoulli(p float64) GEParams { return faults.Bernoulli(p) }
 
 // MulticellConfig describes a multi-cell simulation (see
 // internal/multicell): several mobile support stations over a replicated
