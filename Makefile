@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint fuzz-smoke chaos-smoke bench mobilint clean
+.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke bench mobilint clean
 
 all: build lint test
 
@@ -36,6 +36,17 @@ fuzz-smoke:
 # The sweep's own check fails the run on any stale read.
 chaos-smoke:
 	$(GO) run ./cmd/experiments -figure ext-chaos-thr -simtime 4000 -out results-chaos
+
+# Observability smoke: one instrumented run emitting all three artifacts
+# (metrics timeline, lossless JSONL event stream, run manifest), each
+# validated, then the manifest fed back to verify the replay digest.
+obs-smoke:
+	rm -rf results-obs && mkdir -p results-obs
+	$(GO) run ./cmd/mobisim -simtime 4000 -timeline results-obs/timeline.csv \
+		-trace-jsonl results-obs/events.jsonl -manifest results-obs/run.json
+	head -1 results-obs/timeline.csv | grep -q '^t,' || (echo "bad timeline header" && exit 1)
+	test -s results-obs/events.jsonl || (echo "empty JSONL stream" && exit 1)
+	$(GO) run ./cmd/mobisim -from-manifest results-obs/run.json | grep -q 'replay verified'
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -43,6 +43,7 @@ func run(args []string) error {
 	extensions := fs.Bool("extensions", false, "also run the ablation/extension experiments")
 	seeds := fs.Int("seeds", 1, "replication seeds per point (averaged)")
 	plot := fs.Bool("plot", false, "render each figure as an ASCII chart as well")
+	timelines := fs.String("timelines", "", "also write a per-interval metrics timeline CSV for every run into this directory")
 	verbose := fs.Bool("v", false, "print per-run progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(args []string) error {
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
+	opts.TimelineDir = *timelines
 
 	figures := exp.Figures
 	if *extensions {

@@ -7,18 +7,25 @@
 //	mobisim -scheme aaw
 //	mobisim -scheme bs -db 80000 -simtime 100000
 //	mobisim -scheme ts-check -workload hotcold -uplink 200 -check
+//	mobisim -scheme aaw -timeline tl.csv -trace-jsonl ev.jsonl -manifest run.json
+//	mobisim -from-manifest run.json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"mobicache/internal/core"
 	"mobicache/internal/engine"
+	"mobicache/internal/metrics"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -29,6 +36,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// traceRingDefault is the retained-ring capacity hint used when event
+// streaming is requested without an explicit -trace N.
+const traceRingDefault = 4096
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("mobisim", flag.ContinueOnError)
@@ -54,6 +65,12 @@ func run(args []string, out *os.File) error {
 	seed := fs.Uint64("seed", def.Seed, "random seed")
 	check := fs.Bool("check", false, "enable the stale-read consistency checker")
 	traceN := fs.Int("trace", 0, "print the last N protocol events of the run")
+	traceJSONL := fs.String("trace-jsonl", "", "stream every protocol event to this file as JSON lines (lossless)")
+	timeline := fs.String("timeline", "", "write the per-interval metrics timeline to this CSV file")
+	manifestOut := fs.String("manifest", "", "write the run manifest (config, seed, result digest, profile) to this JSON file")
+	fromManifest := fs.String("from-manifest", "", "replay the run recorded in this manifest file and verify its result digest (overrides config flags)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
 	verbose := fs.Bool("v", false, "print the full metric breakdown")
 
@@ -61,50 +78,148 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	c := def
-	c.Scheme = *scheme
-	c.Clients = *clients
-	c.DBSize = *dbSize
-	c.ItemBits = *itemBits
-	c.BufferPct = *bufferPct
-	c.Period = *period
-	c.WindowIntervals = *window
-	c.DownlinkBps = *downlink
-	c.UplinkBps = *uplink
-	c.MeanThink = *think
-	c.MeanUpdate = *update
-	c.MeanDisc = *disc
-	c.ProbDisc = *probDisc
-	c.DiscPerInterval = *perInterval
-	c.SimTime = *simTime
-	c.Seed = *seed
-	c.ConsistencyCheck = *check
-
-	switch {
-	case *wl == "uniform":
-		c.Workload = workload.Uniform(c.DBSize)
-	case *wl == "hotcold":
-		c.Workload = workload.HotCold(c.DBSize)
-	case strings.HasPrefix(*wl, "zipf:"):
-		var theta float64
-		if _, err := fmt.Sscanf(*wl, "zipf:%g", &theta); err != nil {
-			return fmt.Errorf("bad zipf workload %q: %v", *wl, err)
+	var c engine.Config
+	var replay *engine.Manifest
+	if *fromManifest != "" {
+		f, err := os.Open(*fromManifest)
+		if err != nil {
+			return err
 		}
-		c.Workload = workload.Zipf(c.DBSize, theta)
-	default:
-		return fmt.Errorf("unknown workload %q", *wl)
+		replay, err = engine.ReadManifest(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if c, err = replay.EngineConfig(); err != nil {
+			return err
+		}
+	} else {
+		c = def
+		c.Scheme = *scheme
+		c.Clients = *clients
+		c.DBSize = *dbSize
+		c.ItemBits = *itemBits
+		c.BufferPct = *bufferPct
+		c.Period = *period
+		c.WindowIntervals = *window
+		c.DownlinkBps = *downlink
+		c.UplinkBps = *uplink
+		c.MeanThink = *think
+		c.MeanUpdate = *update
+		c.MeanDisc = *disc
+		c.ProbDisc = *probDisc
+		c.DiscPerInterval = *perInterval
+		c.SimTime = *simTime
+		c.Seed = *seed
+		c.ConsistencyCheck = *check
+		var err error
+		if c.Workload, err = workload.Parse(*wl, c.DBSize); err != nil {
+			return err
+		}
 	}
 
+	// -trace sizes the retained ring (a capacity hint: memory scales with
+	// events actually recorded, not the requested N); -trace-jsonl
+	// additionally streams every event losslessly through the same sink
+	// path the final dump uses.
 	var tr *trace.Tracer
 	if *traceN > 0 {
 		tr = trace.New(*traceN)
-		c.Trace = tr
+	} else if *traceJSONL != "" {
+		tr = trace.New(traceRingDefault)
+	}
+	var jsonlFile *os.File
+	var jsonlBuf *bufio.Writer
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			return err
+		}
+		jsonlFile = f
+		jsonlBuf = bufio.NewWriter(f)
+		tr.SetSink(trace.NewJSONLSink(jsonlBuf))
+	}
+	c.Trace = tr
+
+	var reg *metrics.Registry
+	if *timeline != "" {
+		reg = metrics.New()
+		c.Metrics = reg
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
 	r, err := engine.Run(c)
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
+
+	if jsonlBuf != nil {
+		if err := tr.SinkErr(); err != nil {
+			return fmt.Errorf("trace stream: %w", err)
+		}
+		if err := jsonlBuf.Flush(); err != nil {
+			return err
+		}
+		if err := jsonlFile.Close(); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *manifestOut != "" {
+		m := engine.NewManifest(r)
+		m.Stamp(wall.Seconds())
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			return err
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	if *jsonOut {
 		if err := writeJSON(out, r); err != nil {
 			return err
@@ -112,9 +227,15 @@ func run(args []string, out *os.File) error {
 	} else {
 		printResults(out, r, *verbose)
 	}
-	if tr != nil {
+	if replay != nil {
+		if err := replay.VerifyReplay(r); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replay verified: digest matches %s\n", *fromManifest)
+	}
+	if tr != nil && *traceN > 0 {
 		fmt.Fprintf(out, "--- last %d of %d protocol events ---\n", len(tr.Events()), tr.Total())
-		if err := tr.WriteText(out); err != nil {
+		if err := tr.Flush(trace.NewTextSink(out)); err != nil {
 			return err
 		}
 	}
@@ -127,53 +248,132 @@ func run(args []string, out *os.File) error {
 
 // jsonResults is the flat, marshalable view of a run (Config holds
 // function-valued workload fields, so Results itself is not marshaled).
+// Every exported engine.Results field must appear here under its own
+// name — TestJSONCoversAllResultFields enforces it, so new metrics
+// cannot be silently dropped from -json output.
 type jsonResults struct {
-	Scheme                string           `json:"scheme"`
-	Workload              string           `json:"workload"`
-	DBSize                int              `json:"db_size"`
-	Clients               int              `json:"clients"`
-	SimTime               float64          `json:"sim_time"`
-	Seed                  uint64           `json:"seed"`
-	QueriesAnswered       int64            `json:"queries_answered"`
-	UplinkBitsPerQuery    float64          `json:"uplink_bits_per_query"`
-	HitRatio              float64          `json:"hit_ratio"`
-	MeanResponse          float64          `json:"mean_response_s"`
-	RespP50               float64          `json:"resp_p50_s"`
-	RespP95               float64          `json:"resp_p95_s"`
-	RespP99               float64          `json:"resp_p99_s"`
-	Drops                 int64            `json:"cache_drops"`
-	Salvages              int64            `json:"cache_salvages"`
-	ReportsSent           map[string]int64 `json:"reports_sent"`
-	DownUtilization       float64          `json:"down_utilization"`
-	UpUtilization         float64          `json:"up_utilization"`
-	IROverruns            int64            `json:"ir_overruns"`
-	ReportsLost           int64            `json:"reports_lost"`
-	ConsistencyViolations int64            `json:"consistency_violations"`
+	Scheme   string  `json:"scheme"`
+	Workload string  `json:"workload"`
+	DBSize   int     `json:"db_size"`
+	Clients  int     `json:"clients"`
+	SimTime  float64 `json:"sim_time"`
+	Seed     uint64  `json:"seed"`
+
+	QueriesAnswered      int64   `json:"queries_answered"`
+	UplinkValidationBits float64 `json:"uplink_validation_bits"`
+	UplinkBitsPerQuery   float64 `json:"uplink_bits_per_query"`
+	ValidationUplinkMsgs int64   `json:"validation_uplink_msgs"`
+	ThroughputCI95       float64 `json:"throughput_ci95"`
+
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Drops       int64   `json:"cache_drops"`
+	Salvages    int64   `json:"cache_salvages"`
+
+	ReportsSent map[string]int64   `json:"reports_sent"`
+	ReportBits  map[string]float64 `json:"report_bits"`
+	IROverruns  int64              `json:"ir_overruns"`
+
+	DownReportBits  float64 `json:"down_report_bits"`
+	DownControlBits float64 `json:"down_control_bits"`
+	DownDataBits    float64 `json:"down_data_bits"`
+	UpControlBits   float64 `json:"up_control_bits"`
+	UpDataBits      float64 `json:"up_data_bits"`
+	DownUtilization float64 `json:"down_utilization"`
+	UpUtilization   float64 `json:"up_utilization"`
+
+	ReportsCorrupted    int64   `json:"reports_corrupted"`
+	UplinkMsgsLost      int64   `json:"uplink_msgs_lost"`
+	UplinkMsgsCorrupted int64   `json:"uplink_msgs_corrupted"`
+	Retries             int64   `json:"retries"`
+	RetriesPerQuery     float64 `json:"retries_per_query"`
+	EpochDegrades       int64   `json:"epoch_degrades"`
+	ServerCrashes       int64   `json:"server_crashes"`
+	ServerDowntime      float64 `json:"server_downtime_s"`
+	MeanRecoveryLatency float64 `json:"mean_recovery_latency_s"`
+
+	ReportsLost          int64   `json:"reports_lost"`
+	MeanResponse         float64 `json:"mean_response_s"`
+	MaxResponse          float64 `json:"max_response_s"`
+	RespP50              float64 `json:"resp_p50_s"`
+	RespP95              float64 `json:"resp_p95_s"`
+	RespP99              float64 `json:"resp_p99_s"`
+	Disconnections       int64   `json:"disconnections"`
+	MeanDisconnectedFor  float64 `json:"mean_disconnected_for_s"`
+	ItemsFromCache       int64   `json:"items_from_cache"`
+	ItemsFetched         int64   `json:"items_fetched"`
+	StaleValidityDropped int64   `json:"stale_validity_dropped"`
+
+	MeasuredTime          float64 `json:"measured_time_s"`
+	Events                uint64  `json:"events"`
+	PeakEventQueue        int     `json:"peak_event_queue"`
+	ConsistencyViolations int64   `json:"consistency_violations"`
+	FirstViolation        string  `json:"first_violation,omitempty"`
 }
 
 func writeJSON(out *os.File, r *engine.Results) error {
 	v := jsonResults{
-		Scheme:                r.Config.Scheme,
-		Workload:              r.Config.Workload.Name,
-		DBSize:                r.Config.DBSize,
-		Clients:               r.Config.Clients,
-		SimTime:               r.Config.SimTime,
-		Seed:                  r.Config.Seed,
-		QueriesAnswered:       r.QueriesAnswered,
-		UplinkBitsPerQuery:    r.UplinkBitsPerQuery,
-		HitRatio:              r.HitRatio,
-		MeanResponse:          r.MeanResponse,
-		RespP50:               r.RespP50,
-		RespP95:               r.RespP95,
-		RespP99:               r.RespP99,
-		Drops:                 r.Drops,
-		Salvages:              r.Salvages,
-		ReportsSent:           r.ReportsSent,
-		DownUtilization:       r.DownUtilization,
-		UpUtilization:         r.UpUtilization,
-		IROverruns:            r.IROverruns,
-		ReportsLost:           r.ReportsLost,
+		Scheme:   r.Config.Scheme,
+		Workload: r.Config.Workload.Name,
+		DBSize:   r.Config.DBSize,
+		Clients:  r.Config.Clients,
+		SimTime:  r.Config.SimTime,
+		Seed:     r.Config.Seed,
+
+		QueriesAnswered:      r.QueriesAnswered,
+		UplinkValidationBits: r.UplinkValidationBits,
+		UplinkBitsPerQuery:   r.UplinkBitsPerQuery,
+		ValidationUplinkMsgs: r.ValidationUplinkMsgs,
+		ThroughputCI95:       r.ThroughputCI95,
+
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+		HitRatio:    r.HitRatio,
+		Drops:       r.Drops,
+		Salvages:    r.Salvages,
+
+		ReportsSent: r.ReportsSent,
+		ReportBits:  r.ReportBits,
+		IROverruns:  r.IROverruns,
+
+		DownReportBits:  r.DownReportBits,
+		DownControlBits: r.DownControlBits,
+		DownDataBits:    r.DownDataBits,
+		UpControlBits:   r.UpControlBits,
+		UpDataBits:      r.UpDataBits,
+		DownUtilization: r.DownUtilization,
+		UpUtilization:   r.UpUtilization,
+
+		ReportsCorrupted:    r.ReportsCorrupted,
+		UplinkMsgsLost:      r.UplinkMsgsLost,
+		UplinkMsgsCorrupted: r.UplinkMsgsCorrupted,
+		Retries:             r.Retries,
+		RetriesPerQuery:     r.RetriesPerQuery,
+		EpochDegrades:       r.EpochDegrades,
+		ServerCrashes:       r.ServerCrashes,
+		ServerDowntime:      r.ServerDowntime,
+		MeanRecoveryLatency: r.MeanRecoveryLatency,
+
+		ReportsLost:          r.ReportsLost,
+		MeanResponse:         r.MeanResponse,
+		MaxResponse:          r.MaxResponse,
+		RespP50:              r.RespP50,
+		RespP95:              r.RespP95,
+		RespP99:              r.RespP99,
+		Disconnections:       r.Disconnections,
+		MeanDisconnectedFor:  r.MeanDisconnectedFor,
+		ItemsFromCache:       r.ItemsFromCache,
+		ItemsFetched:         r.ItemsFetched,
+		StaleValidityDropped: r.StaleValidityDropped,
+
+		MeasuredTime:          r.MeasuredTime,
+		Events:                r.Events,
+		PeakEventQueue:        r.PeakEventQueue,
 		ConsistencyViolations: r.ConsistencyViolations,
+	}
+	if r.FirstViolation != nil {
+		v.FirstViolation = r.FirstViolation.String()
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -201,7 +401,7 @@ func printResults(out *os.File, r *engine.Results, verbose bool) {
 		fmt.Fprintf(out, "disconnections:          %d (mean %.0f s)\n", r.Disconnections, r.MeanDisconnectedFor)
 		fmt.Fprintf(out, "max response time:       %.1f s\n", r.MaxResponse)
 		fmt.Fprintf(out, "report overruns:         %d\n", r.IROverruns)
-		fmt.Fprintf(out, "simulated events:        %d\n", r.Events)
+		fmt.Fprintf(out, "simulated events:        %d (peak queue %d)\n", r.Events, r.PeakEventQueue)
 		if r.Config.ConsistencyCheck {
 			fmt.Fprintf(out, "consistency violations:  %d\n", r.ConsistencyViolations)
 		}

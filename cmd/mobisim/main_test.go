@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"mobicache/internal/core"
+	"mobicache/internal/engine"
 )
 
 func runCapture(t *testing.T, args ...string) (string, error) {
@@ -103,5 +108,140 @@ func TestRunJSON(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("json missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "tl.csv")
+	ev := filepath.Join(dir, "ev.jsonl")
+	man := filepath.Join(dir, "run.json")
+	if _, err := runCapture(t, "-simtime", "2000", "-timeline", tl,
+		"-trace-jsonl", ev, "-manifest", man); err != nil {
+		t.Fatal(err)
+	}
+
+	csvData, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(bytes.NewReader(csvData)).ReadAll()
+	if err != nil {
+		t.Fatalf("timeline CSV does not parse: %v", err)
+	}
+	if len(recs) < 10 || recs[0][0] != "t" {
+		t.Fatalf("timeline CSV looks wrong: %d rows, header %v", len(recs), recs[0])
+	}
+
+	evData, err := os.ReadFile(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(evData, []byte{'\n'}), []byte{'\n'})
+	if len(lines) == 0 {
+		t.Fatal("empty JSONL stream")
+	}
+	for _, ln := range lines {
+		var v map[string]any
+		if err := json.Unmarshal(ln, &v); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+	}
+
+	manData, err := os.ReadFile(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(manData, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m["scheme"] != "aaw" || m["wall_clock_sec"].(float64) <= 0 {
+		t.Fatalf("manifest fields wrong: %v", m)
+	}
+
+	// The manifest must reproduce the run when fed back in.
+	out, err := runCapture(t, "-from-manifest", man)
+	if err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "replay verified") {
+		t.Fatalf("no replay verification in output:\n%s", out)
+	}
+}
+
+func TestFromManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "-from-manifest", bad); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if _, err := runCapture(t, "-from-manifest", filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, err := runCapture(t, "-simtime", "1000", "-cpuprofile", cpu, "-memprofile", mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestJSONCoversAllResultFields guards -json against silent metric loss:
+// every exported engine.Results field must have a same-named counterpart
+// in jsonResults (Config is flattened into the identity fields).
+func TestJSONCoversAllResultFields(t *testing.T) {
+	jt := reflect.TypeOf(jsonResults{})
+	rt := reflect.TypeOf(engine.Results{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Name == "Config" {
+			continue // flattened: scheme/workload/db/clients/simtime/seed
+		}
+		if _, ok := jt.FieldByName(f.Name); !ok {
+			t.Errorf("engine.Results.%s is not exported by -json; add it to jsonResults", f.Name)
+		}
+	}
+	// And every jsonResults field carries a json tag.
+	for i := 0; i < jt.NumField(); i++ {
+		if tag := jt.Field(i).Tag.Get("json"); tag == "" || tag == "-" {
+			t.Errorf("jsonResults.%s has no json tag", jt.Field(i).Name)
+		}
+	}
+}
+
+// TestJSONRoundTrip decodes -json output strictly: an unknown or
+// misspelled key in the emitted JSON fails the decode.
+func TestJSONRoundTrip(t *testing.T) {
+	out, err := runCapture(t, "-simtime", "2000", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	dec.DisallowUnknownFields()
+	var v jsonResults
+	if err := dec.Decode(&v); err != nil {
+		t.Fatalf("-json output does not round-trip into jsonResults: %v", err)
+	}
+	if v.QueriesAnswered <= 0 || v.Events == 0 || v.PeakEventQueue <= 0 {
+		t.Fatalf("round-tripped results implausible: %+v", v)
+	}
+	if v.MeasuredTime != v.SimTime {
+		t.Fatalf("measured %v != simtime %v with no warmup", v.MeasuredTime, v.SimTime)
 	}
 }

@@ -27,6 +27,7 @@ var Restricted = []string{
 	"internal/multicell",
 	"internal/netsim",
 	"internal/faults",
+	"internal/metrics",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

@@ -13,5 +13,5 @@ func TestAnalyzer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	framework.RunTest(t, testdata, nodeterminism.Analyzer, "internal/sim")
+	framework.RunTest(t, testdata, nodeterminism.Analyzer, "internal/sim", "internal/metrics")
 }

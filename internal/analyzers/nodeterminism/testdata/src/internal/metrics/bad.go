@@ -1,0 +1,16 @@
+// Package metrics is a fixture standing in for mobicache/internal/metrics:
+// the observability layer is part of the simulator, so the determinism
+// contract applies — instruments must never read the wall clock or draw
+// their own randomness.
+package metrics
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp exercises the forbidden calls inside the metrics package.
+func Stamp() float64 {
+	t := time.Now() // want `nondeterministic time\.Now in simulator package`
+	return float64(t.UnixNano()) + rand.Float64() // want `nondeterministic math/rand\.Float64 in simulator package`
+}

@@ -74,6 +74,10 @@ type Config struct {
 	RespHist *stats.Histogram
 	// Tracer records protocol events when non-nil.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives per-event observations into the
+	// cell-wide timeline instruments (shared across clients; see
+	// engine's observability wiring).
+	Metrics *Metrics
 	// OnWake, if set, is invoked when the client finishes a disconnection,
 	// just before it reconnects. A multi-cell coordinator uses it to move
 	// the client to a different cell (Reattach) — mobility happens while
@@ -204,6 +208,7 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 		switch c.downGE.Next() {
 		case faults.Lose:
 			c.ReportsLost++
+			c.cfg.Metrics.reportLost()
 			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultLoss,
 				Client: c.cfg.ID, A: int64(netsim.ClassReport)})
 			return
@@ -220,6 +225,7 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 				panic("client: corrupted report decoded cleanly")
 			}
 			c.ReportsCorrupted++
+			c.cfg.Metrics.reportCorrupted()
 			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultCorrupt,
 				Client: c.cfg.ID, A: int64(netsim.ClassReport)})
 			return
@@ -231,6 +237,7 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ReportDelivered,
 		Client: c.cfg.ID, A: int64(r.Kind())})
 	if c.st.Salvages > salvagesBefore {
+		c.cfg.Metrics.salvage()
 		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheSalvage, Client: c.cfg.ID})
 	}
 	c.handleOutcome(out, now)
@@ -271,8 +278,10 @@ func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) 
 func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
 	if out.EpochDegrade {
 		c.EpochDegrades++
+		c.cfg.Metrics.epochDegrade()
 	}
 	if out.DroppedAll {
+		c.cfg.Metrics.dropAll()
 		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheDrop, Client: c.cfg.ID})
 	}
 	if out.Send != nil {
@@ -322,6 +331,7 @@ func (c *Client) scheduleCtrlTimeout(kindArg int64) {
 		}
 		c.ctrlTries++
 		c.Retries++
+		c.cfg.Metrics.retry()
 		c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.RetryAttempt,
 			Client: c.cfg.ID, A: kindArg, B: int64(c.ctrlTries)})
 		c.st.AbandonPending()
@@ -385,6 +395,7 @@ func (c *Client) disconnect(p *sim.Proc) {
 	c.connected = false
 	c.st.AbandonPending()
 	d := c.src.Exp(c.cfg.MeanDisc)
+	c.cfg.Metrics.disconnected()
 	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.Disconnect,
 		Client: c.cfg.ID, B: int64(d * 1e6)})
 	c.Disconnections++
@@ -434,6 +445,7 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 	}
 	c.QueriesAnswered++
 	c.RespTime.Observe(p.Now() - tq)
+	c.cfg.Metrics.queryDone(p.Now() - tq)
 	if c.cfg.RespHist != nil {
 		c.cfg.RespHist.Observe(p.Now() - tq)
 	}

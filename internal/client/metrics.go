@@ -1,0 +1,83 @@
+package client
+
+import "mobicache/internal/metrics"
+
+// Metrics groups the timeline instruments the mobile clients drive. One
+// instance is shared by every client in a cell (the engine wires it from
+// the run's metrics registry); all hook methods are nil-safe no-ops, so
+// client code calls them unconditionally, exactly like trace.Tracer.
+type Metrics struct {
+	// Queries counts completed queries; Resp observes their response
+	// times for per-interval percentiles.
+	Queries *metrics.Counter
+	Resp    *metrics.Histogram
+	// Retries counts uplink exchange timeouts; ReportsLost and
+	// ReportsCorrupted count reports destroyed by the downlink fault
+	// model; EpochDegrades counts recovery-marker-forced cache drops.
+	Retries          *metrics.Counter
+	ReportsLost      *metrics.Counter
+	ReportsCorrupted *metrics.Counter
+	EpochDegrades    *metrics.Counter
+	// Disconnects counts power-downs; Salvages and Drops the cache
+	// outcomes of the invalidation protocol.
+	Disconnects *metrics.Counter
+	Salvages    *metrics.Counter
+	Drops       *metrics.Counter
+}
+
+func (m *Metrics) queryDone(resp float64) {
+	if m == nil {
+		return
+	}
+	m.Queries.Inc()
+	m.Resp.Observe(resp)
+}
+
+func (m *Metrics) retry() {
+	if m == nil {
+		return
+	}
+	m.Retries.Inc()
+}
+
+func (m *Metrics) reportLost() {
+	if m == nil {
+		return
+	}
+	m.ReportsLost.Inc()
+}
+
+func (m *Metrics) reportCorrupted() {
+	if m == nil {
+		return
+	}
+	m.ReportsCorrupted.Inc()
+}
+
+func (m *Metrics) epochDegrade() {
+	if m == nil {
+		return
+	}
+	m.EpochDegrades.Inc()
+}
+
+func (m *Metrics) disconnected() {
+	if m == nil {
+		return
+	}
+	m.Disconnects.Inc()
+}
+
+func (m *Metrics) salvage() {
+	if m == nil {
+		return
+	}
+	m.Salvages.Inc()
+}
+
+func (m *Metrics) dropAll() {
+	if m == nil {
+		return
+	}
+	m.Drops.Inc()
+}

@@ -12,6 +12,7 @@ import (
 	"mobicache/internal/core"
 	"mobicache/internal/db"
 	"mobicache/internal/faults"
+	"mobicache/internal/metrics"
 	"mobicache/internal/netsim"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
@@ -85,6 +86,14 @@ type Config struct {
 	// Trace, when non-nil, records protocol events from the server and
 	// every client into the given ring buffer.
 	Trace *trace.Tracer
+	// Metrics, when non-nil, receives a time series sampled once per
+	// broadcast period: throughput, hit ratio, report kind and size,
+	// adjusted window, channel utilization, retries and fault/recovery
+	// activity (see DESIGN.md §9). Sampling rides the engine's existing
+	// per-period sampler, so enabling it schedules no additional events
+	// and consumes no randomness; a nil registry leaves the run
+	// bit-identical to an uninstrumented build.
+	Metrics *metrics.Registry
 	// ReportLossProb injects per-client report reception failures
 	// (failure-injection extension; the paper assumes perfect reception).
 	// It is the degenerate single-state case of Faults.DownLoss; setting
@@ -251,7 +260,10 @@ type Results struct {
 	MeasuredTime float64
 
 	// Engine health.
-	Events                uint64
+	Events uint64
+	// PeakEventQueue is the calendar-queue high-water mark — the kernel's
+	// self-profile of how bursty the event population got.
+	PeakEventQueue        int
 	ConsistencyViolations int64
 	FirstViolation        *Violation
 }
@@ -339,6 +351,7 @@ func Run(c Config) (*Results, error) {
 	}
 
 	respHist := stats.NewHistogram(0, 4*c.MeanThink+40*c.Period, 512)
+	clMetrics := newClientMetrics(c.Metrics, c)
 
 	side := scheme.NewClient(params)
 	clients := make([]*client.Client, c.Clients)
@@ -358,6 +371,7 @@ func Run(c Config) (*Results, error) {
 			ConsistencyHook:  hook,
 			RespHist:         respHist,
 			Tracer:           c.Trace,
+			Metrics:          clMetrics,
 			ReportLossProb:   c.ReportLossProb,
 			DownLoss:         c.Faults.DownLoss,
 			Retry:            c.Faults.Retry,
@@ -367,9 +381,12 @@ func Run(c Config) (*Results, error) {
 		cl.Start()
 	}
 	srv.Start()
+	wireSystemMetrics(c, k, srv, down, up, clients)
 
 	// Batch-means sampler: per-interval query completions, batched into
-	// 50-interval groups for an (approximately independent) CI.
+	// 50-interval groups for an (approximately independent) CI. The
+	// metrics registry samples on the same tick, so observability adds
+	// zero events to the calendar.
 	batch := stats.NewBatchMeans(50)
 	var prevCompleted int64
 	var sampleTick func()
@@ -380,6 +397,7 @@ func Run(c Config) (*Results, error) {
 		}
 		batch.Observe(float64(total - prevCompleted))
 		prevCompleted = total
+		c.Metrics.Sample(float64(k.Now()))
 		if k.Now()+c.Period <= c.SimTime {
 			k.Schedule(c.Period, sampleTick)
 		}
@@ -473,5 +491,6 @@ func Run(c Config) (*Results, error) {
 	res.RespP95 = respHist.Quantile(0.95)
 	res.RespP99 = respHist.Quantile(0.99)
 	res.Events = k.Executed()
+	res.PeakEventQueue = k.MaxPending()
 	return res, nil
 }

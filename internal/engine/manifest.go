@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"mobicache/internal/faults"
+	"mobicache/internal/workload"
+)
+
+// ManifestSchemaVersion identifies the manifest layout; bump it whenever
+// a field changes meaning so downstream tooling can refuse stale files.
+const ManifestSchemaVersion = 1
+
+// Manifest is the reproducibility record of one run: every knob needed
+// to re-execute it bit-identically (scheme, workload, seed, all Config
+// scalars, the fault plan), a digest of the headline results to verify a
+// replay against, and the kernel's self-profile. The engine fills
+// everything except the wall-clock fields, which the command layer
+// stamps after the run — simulator packages never read the wall clock
+// (DESIGN.md §7).
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+
+	// Reproduction inputs.
+	Scheme           string        `json:"scheme"`
+	Workload         string        `json:"workload"`
+	Seed             uint64        `json:"seed"`
+	Clients          int           `json:"clients"`
+	DBSize           int           `json:"db_size"`
+	ItemBits         float64       `json:"item_bits"`
+	BufferPct        float64       `json:"buffer_pct"`
+	Period           float64       `json:"period"`
+	WindowIntervals  int           `json:"window_intervals"`
+	DownlinkBps      float64       `json:"downlink_bps"`
+	UplinkBps        float64       `json:"uplink_bps"`
+	ControlMsgBits   float64       `json:"control_msg_bits"`
+	MeanThink        float64       `json:"mean_think"`
+	MeanUpdate       float64       `json:"mean_update"`
+	MeanDisc         float64       `json:"mean_disc"`
+	ProbDisc         float64       `json:"prob_disc"`
+	DiscPerInterval  bool          `json:"disc_per_interval"`
+	SimTime          float64       `json:"sim_time"`
+	Warmup           float64       `json:"warmup"`
+	TSBits           int           `json:"ts_bits"`
+	HeaderBits       int           `json:"header_bits"`
+	ConsistencyCheck bool          `json:"consistency_check"`
+	ReportLossProb   float64       `json:"report_loss_prob"`
+	Faults           faults.Config `json:"faults"`
+
+	// Result digest: enough to verify that a replay reproduced the run.
+	QueriesAnswered    int64   `json:"queries_answered"`
+	HitRatio           float64 `json:"hit_ratio"`
+	UplinkBitsPerQuery float64 `json:"uplink_bits_per_query"`
+	Events             uint64  `json:"events"`
+
+	// Kernel self-profile.
+	PeakEventQueue int `json:"peak_event_queue"`
+
+	// Wall-clock profile, stamped by the command layer (zero when the
+	// caller did not measure).
+	WallClockSec float64 `json:"wall_clock_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// NewManifest builds the manifest of a completed run. Wall-clock fields
+// are left zero for the command layer to stamp.
+func NewManifest(r *Results) *Manifest {
+	c := r.Config
+	return &Manifest{
+		SchemaVersion:      ManifestSchemaVersion,
+		GoVersion:          runtime.Version(),
+		Scheme:             c.Scheme,
+		Workload:           c.Workload.Name,
+		Seed:               c.Seed,
+		Clients:            c.Clients,
+		DBSize:             c.DBSize,
+		ItemBits:           c.ItemBits,
+		BufferPct:          c.BufferPct,
+		Period:             c.Period,
+		WindowIntervals:    c.WindowIntervals,
+		DownlinkBps:        c.DownlinkBps,
+		UplinkBps:          c.UplinkBps,
+		ControlMsgBits:     c.ControlMsgBits,
+		MeanThink:          c.MeanThink,
+		MeanUpdate:         c.MeanUpdate,
+		MeanDisc:           c.MeanDisc,
+		ProbDisc:           c.ProbDisc,
+		DiscPerInterval:    c.DiscPerInterval,
+		SimTime:            c.SimTime,
+		Warmup:             c.Warmup,
+		TSBits:             c.TSBits,
+		HeaderBits:         c.HeaderBits,
+		ConsistencyCheck:   c.ConsistencyCheck,
+		ReportLossProb:     c.ReportLossProb,
+		Faults:             c.Faults,
+		QueriesAnswered:    r.QueriesAnswered,
+		HitRatio:           r.HitRatio,
+		UplinkBitsPerQuery: r.UplinkBitsPerQuery,
+		Events:             r.Events,
+		PeakEventQueue:     r.PeakEventQueue,
+	}
+}
+
+// Stamp fills the wall-clock profile from a measured duration in
+// seconds. Only command-layer code should call it; the simulator itself
+// never observes real time.
+func (m *Manifest) Stamp(wallSec float64) {
+	m.WallClockSec = wallSec
+	if wallSec > 0 {
+		m.EventsPerSec = float64(m.Events) / wallSec
+	}
+}
+
+// EngineConfig reconstructs the Config that produced this manifest, so a
+// recorded run can be replayed exactly.
+func (m *Manifest) EngineConfig() (Config, error) {
+	if m.SchemaVersion != ManifestSchemaVersion {
+		return Config{}, fmt.Errorf("engine: manifest schema %d, want %d",
+			m.SchemaVersion, ManifestSchemaVersion)
+	}
+	wl, err := workload.Parse(m.Workload, m.DBSize)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Scheme:           m.Scheme,
+		Clients:          m.Clients,
+		DBSize:           m.DBSize,
+		ItemBits:         m.ItemBits,
+		BufferPct:        m.BufferPct,
+		Period:           m.Period,
+		WindowIntervals:  m.WindowIntervals,
+		DownlinkBps:      m.DownlinkBps,
+		UplinkBps:        m.UplinkBps,
+		ControlMsgBits:   m.ControlMsgBits,
+		MeanThink:        m.MeanThink,
+		MeanUpdate:       m.MeanUpdate,
+		MeanDisc:         m.MeanDisc,
+		ProbDisc:         m.ProbDisc,
+		DiscPerInterval:  m.DiscPerInterval,
+		SimTime:          m.SimTime,
+		Warmup:           m.Warmup,
+		Seed:             m.Seed,
+		Workload:         wl,
+		TSBits:           m.TSBits,
+		HeaderBits:       m.HeaderBits,
+		ConsistencyCheck: m.ConsistencyCheck,
+		ReportLossProb:   m.ReportLossProb,
+		Faults:           m.Faults,
+	}, nil
+}
+
+// VerifyReplay checks a replayed run's digest against the recorded one,
+// returning a descriptive error on the first mismatch.
+func (m *Manifest) VerifyReplay(r *Results) error {
+	switch {
+	case r.QueriesAnswered != m.QueriesAnswered:
+		return fmt.Errorf("engine: replay answered %d queries, manifest records %d",
+			r.QueriesAnswered, m.QueriesAnswered)
+	case r.Events != m.Events:
+		return fmt.Errorf("engine: replay executed %d events, manifest records %d",
+			r.Events, m.Events)
+	case r.HitRatio != m.HitRatio:
+		return fmt.Errorf("engine: replay hit ratio %v, manifest records %v",
+			r.HitRatio, m.HitRatio)
+	case r.UplinkBitsPerQuery != m.UplinkBitsPerQuery:
+		return fmt.Errorf("engine: replay uplink bits/query %v, manifest records %v",
+			r.UplinkBitsPerQuery, m.UplinkBitsPerQuery)
+	}
+	return nil
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses a manifest written by WriteJSON.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("engine: bad manifest: %w", err)
+	}
+	return &m, nil
+}

@@ -10,10 +10,13 @@ package exp
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"mobicache/internal/engine"
+	"mobicache/internal/metrics"
 	"mobicache/internal/stats"
 	"mobicache/internal/workload"
 )
@@ -228,6 +231,10 @@ type Options struct {
 	Schemes []string
 	// Progress, if set, receives one line per completed run.
 	Progress func(string)
+	// TimelineDir, when non-empty, attaches a metrics registry to every
+	// run and writes its per-interval timeline to
+	// <dir>/<sweep>-<scheme>-x<x>-s<seed>.csv.
+	TimelineDir string
 }
 
 func (o Options) seeds() []uint64 {
@@ -302,9 +309,17 @@ func (r *Runner) RunSweep(s *Sweep) (*SweepResult, error) {
 				if r.Opts.SimTime > 0 {
 					c.SimTime = r.Opts.SimTime
 				}
+				if r.Opts.TimelineDir != "" {
+					c.Metrics = metrics.New()
+				}
 				run, err := engine.Run(c)
 				if err != nil {
 					return nil, fmt.Errorf("sweep %s x=%v scheme=%s: %w", s.ID, x, scheme, err)
+				}
+				if c.Metrics != nil {
+					if err := writeTimeline(r.Opts.TimelineDir, s.ID, scheme, x, seed, c.Metrics); err != nil {
+						return nil, err
+					}
 				}
 				if s.Check != nil {
 					if err := s.Check(run); err != nil {
@@ -331,6 +346,24 @@ func (r *Runner) RunSweep(s *Sweep) (*SweepResult, error) {
 	return res, nil
 }
 
+// writeTimeline flushes one run's sampled registry as a CSV named after
+// the sweep coordinates.
+func writeTimeline(dir, sweepID, scheme string, x float64, seed uint64, reg *metrics.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%s-x%g-s%d.csv", sweepID, scheme, x, seed)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // FigureTable is a rendered figure: one row per sweep point, one column
 // per scheme.
 type FigureTable struct {
@@ -338,6 +371,9 @@ type FigureTable struct {
 	Schemes []string
 	Xs      []float64
 	Values  map[float64]map[string]float64
+	// YLabel, when non-empty, overrides the metric name as the plot's y
+	// axis label (timeline adapters plot columns, not sweep metrics).
+	YLabel string
 }
 
 // RunFigure executes (via the shared sweep) and extracts one figure.

@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobicache/internal/engine"
+	"mobicache/internal/metrics"
+	"mobicache/internal/trace"
+)
+
+// obsChaosConfig is an AAW run over the ext-chaos fault plan, with the
+// sleeper knobs turned up so reconnecting clients carry Tlbs old enough
+// to force the server through its full adaptive repertoire — windowed
+// IR(w), enlarged IR(w'), and IR(BS).
+func obsChaosConfig() engine.Config {
+	c := ExtensionSweeps["ext-chaos"].Configure(2)
+	c.Scheme = "aaw"
+	c.SimTime = 20000
+	c.ProbDisc = 0.3
+	c.MeanDisc = 4000
+	return c
+}
+
+// TestObservabilityAAWChaos is the observability acceptance run: one
+// instrumented AAW chaos simulation must yield a parseable timeline CSV
+// whose report-kind column shows the IR(w)<->IR(BS) adaptation, a JSONL
+// event stream that is lossless (line count equals the tracer's total),
+// and results bit-identical to the same run with instrumentation off.
+func TestObservabilityAAWChaos(t *testing.T) {
+	c := obsChaosConfig()
+	reg := metrics.New()
+	c.Metrics = reg
+	var jsonl bytes.Buffer
+	bw := bufio.NewWriter(&jsonl)
+	tr := trace.New(512).SetSink(trace.NewJSONLSink(bw))
+	c.Trace = tr
+
+	r, err := engine.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if r.ConsistencyViolations != 0 {
+		t.Fatalf("chaos run served stale data: %v", r.FirstViolation)
+	}
+
+	// Timeline CSV parses, with one row per sample and one header field
+	// per registered column plus the time column.
+	var csvBuf bytes.Buffer
+	if err := reg.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatalf("timeline CSV does not parse: %v", err)
+	}
+	if len(records) != reg.Len()+1 {
+		t.Fatalf("timeline CSV has %d rows, want %d samples + header", len(records), reg.Len())
+	}
+	if want := len(reg.Names()) + 1; len(records[0]) != want {
+		t.Fatalf("timeline header has %d fields, want %d", len(records[0]), want)
+	}
+
+	// The report-kind column records the adaptive switch: the server must
+	// move from the windowed report to bit sequences and back at least
+	// once ("-" marks intervals without a broadcast, e.g. a dead server).
+	kinds := reg.LabelColumn("report_kind")
+	if kinds == nil {
+		t.Fatal("no report_kind column")
+	}
+	sawSwitch := false
+	prev := ""
+	for _, k := range kinds {
+		if k == "-" {
+			continue
+		}
+		if (prev == "IR(w)" && k == "IR(BS)") || (prev == "IR(BS)" && k == "IR(w)") {
+			sawSwitch = true
+		}
+		prev = k
+	}
+	if !sawSwitch {
+		counts := map[string]int{}
+		for _, k := range kinds {
+			counts[k]++
+		}
+		t.Fatalf("no IR(w)<->IR(BS) switch in report-kind column; kinds seen: %v", counts)
+	}
+
+	// The JSONL stream is lossless: exactly one valid line per recorded
+	// event, far beyond the 512 the ring retained.
+	lines := bytes.Split(bytes.TrimSuffix(jsonl.Bytes(), []byte{'\n'}), []byte{'\n'})
+	if uint64(len(lines)) != tr.Total() {
+		t.Fatalf("JSONL stream has %d lines, tracer recorded %d events", len(lines), tr.Total())
+	}
+	if uint64(len(tr.Events())) >= tr.Total() {
+		t.Fatalf("ring retained %d of %d events; test should overflow the ring", len(tr.Events()), tr.Total())
+	}
+	for i, ln := range lines {
+		var ev struct {
+			T    float64 `json:"t"`
+			Kind string  `json:"kind"`
+		}
+		if err := json.Unmarshal(ln, &ev); err != nil {
+			t.Fatalf("JSONL line %d does not parse: %v: %s", i, err, ln)
+		}
+		if ev.Kind == "" {
+			t.Fatalf("JSONL line %d has no kind: %s", i, ln)
+		}
+	}
+
+	// Instrumentation must not perturb the simulation: the same config
+	// with metrics and tracing disabled lands on identical results.
+	bare := obsChaosConfig()
+	br, err := engine.Run(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.QueriesAnswered != r.QueriesAnswered || br.Events != r.Events ||
+		br.HitRatio != r.HitRatio || br.UplinkBitsPerQuery != r.UplinkBitsPerQuery {
+		t.Fatalf("instrumented run diverged: queries %d vs %d, events %d vs %d",
+			r.QueriesAnswered, br.QueriesAnswered, r.Events, br.Events)
+	}
+}
+
+// TestTimelineFigure exercises the registry-to-plot adapter on a real
+// sweep-style run.
+func TestTimelineFigure(t *testing.T) {
+	c := obsChaosConfig()
+	c.SimTime = 4000
+	reg := metrics.New()
+	c.Metrics = reg
+	if _, err := engine.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TimelineFigure("test", reg, "queries", "retries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Xs) != reg.Len() {
+		t.Fatalf("figure has %d points, registry %d samples", len(tab.Xs), reg.Len())
+	}
+	out := tab.Plot(40, 10)
+	if !bytes.Contains([]byte(out), []byte("Simulated Time")) {
+		t.Fatalf("plot missing x label:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("column value")) {
+		t.Fatalf("plot missing YLabel override:\n%s", out)
+	}
+	if _, err := TimelineFigure("test", reg, "no_such_column"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := TimelineFigure("test", metrics.New()); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+}
+
+// TestSweepTimelineDir checks that the harness writes one timeline CSV
+// per run when Options.TimelineDir is set.
+func TestSweepTimelineDir(t *testing.T) {
+	dir := t.TempDir()
+	s := &Sweep{
+		ID: "tl-test", XLabel: "x", Xs: []float64{1},
+		Schemes: []string{"aaw", "bs"},
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.SimTime = 2000
+			return c
+		},
+	}
+	r := NewRunner(Options{TimelineDir: dir, Seeds: []uint64{1, 2}})
+	if _, err := r.RunSweep(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"tl-test-aaw-x1-s1.csv", "tl-test-aaw-x1-s2.csv",
+		"tl-test-bs-x1-s1.csv", "tl-test-bs-x1-s2.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.HasPrefix(data, []byte("t,")) {
+			t.Fatalf("%s does not look like a timeline CSV: %.60s", name, data)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+
+	"mobicache/internal/metrics"
+)
+
+// TimelineFigure adapts a sampled metrics registry into a FigureTable so
+// the terminal plotter can render per-run time series: simulated time on
+// the x axis, one curve per requested numeric column. Columns with
+// different magnitudes plot badly together — pick related ones, or scale
+// upstream.
+func TimelineFigure(title string, reg *metrics.Registry, cols ...string) (*FigureTable, error) {
+	if reg.Len() == 0 {
+		return nil, fmt.Errorf("exp: timeline registry holds no samples")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("exp: no timeline columns requested")
+	}
+	series := make(map[string][]float64, len(cols))
+	for _, col := range cols {
+		s := reg.Column(col)
+		if s == nil {
+			return nil, fmt.Errorf("exp: unknown timeline column %q (have %v)", col, reg.Names())
+		}
+		series[col] = s
+	}
+	t := &FigureTable{
+		Figure: Figure{
+			ID:    "timeline",
+			Title: title,
+			Sweep: &Sweep{XLabel: "Simulated Time (s)"},
+		},
+		Schemes: cols,
+		Xs:      append([]float64(nil), reg.Times()...),
+		Values:  make(map[float64]map[string]float64, reg.Len()),
+		YLabel:  "column value",
+	}
+	for i, x := range t.Xs {
+		row := make(map[string]float64, len(cols))
+		for _, col := range cols {
+			row[col] = series[col][i]
+		}
+		t.Values[x] = row
+	}
+	return t, nil
+}

@@ -1,0 +1,378 @@
+// Package metrics is the simulator's time-series instrumentation layer:
+// a registry of named counters, gauges and histograms that the engine
+// samples on every broadcast-interval boundary into a per-run timeline
+// (queries completed, hit ratio, the report kind and bits the server
+// chose, the adjusted window w', channel utilization, retries, fault and
+// recovery events).
+//
+// The package obeys the repository's determinism contract (DESIGN.md §7
+// and §9): it never reads the wall clock, never draws randomness, and
+// never schedules kernel events — sampling rides the engine's existing
+// per-period tick. Every instrument and the registry itself are nil-safe,
+// exactly like trace.Tracer: model code calls Add/Set/Observe
+// unconditionally, and with observability disabled those calls are
+// allocation-free no-ops, so pinned golden results stay bit-identical.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"mobicache/internal/stats"
+)
+
+// Counter is a monotonically increasing instrument. Registered counters
+// are sampled as per-interval deltas. All methods are nil-safe no-ops.
+type Counter struct {
+	v float64
+}
+
+// Add records v occurrences (or units of weight).
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	c.v += v
+}
+
+// Inc records one occurrence.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the cumulative total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous-value instrument, sampled as-is at every
+// interval boundary. All methods are nil-safe no-ops.
+type Gauge struct {
+	v float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value reports the last value set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a per-interval distribution instrument: observations
+// accumulate within one sampling interval, the registered quantiles are
+// emitted at the boundary, and the histogram resets for the next
+// interval. All methods are nil-safe no-ops.
+type Histogram struct {
+	h  *stats.Histogram
+	qs []float64
+}
+
+// Observe records one value into the current interval.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.h.Observe(v)
+}
+
+// column is one registered timeline column.
+type column struct {
+	name string
+	// Exactly one of the sources below is set.
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	q       float64 // quantile when hist != nil
+	poll    func() float64
+	label   func() string
+	// delta samples the source as the change since the previous sample,
+	// clamped at zero (stat resets, e.g. at a warmup boundary, must not
+	// produce negative rates).
+	delta bool
+	prev  float64
+}
+
+// Registry collects instruments and their sampled time series. Create one
+// with New, register columns before the run, and let the engine call
+// Sample at each broadcast-interval boundary. A nil *Registry is disabled:
+// every registration returns a nil instrument and Sample is a no-op.
+type Registry struct {
+	cols    []*column
+	times   []float64
+	rows    [][]float64
+	labels  [][]string
+	nNum    int
+	nLab    int
+	sampled bool
+}
+
+// New creates an empty registry.
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) add(c *column) {
+	if r.sampled {
+		panic("metrics: column " + c.name + " registered after sampling started")
+	}
+	for _, old := range r.cols {
+		if old.name == c.name {
+			panic("metrics: duplicate column " + c.name)
+		}
+	}
+	r.cols = append(r.cols, c)
+	if c.label != nil {
+		r.nLab++
+	} else {
+		r.nNum++
+	}
+}
+
+// Counter registers a counter column sampled as a per-interval delta.
+// Returns nil (a no-op instrument) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(&column{name: name, counter: c, delta: true})
+	return c
+}
+
+// Gauge registers a gauge column sampled as its instantaneous value.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.add(&column{name: name, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a polled column: f is evaluated at each sample.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.add(&column{name: name, poll: f})
+}
+
+// DeltaFunc registers a polled cumulative source sampled as a
+// per-interval delta (clamped at zero across stat resets).
+func (r *Registry) DeltaFunc(name string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.add(&column{name: name, poll: f, delta: true})
+}
+
+// LabelFunc registers a string-valued column (e.g. the report kind the
+// server chose this interval), polled at each sample.
+func (r *Registry) LabelFunc(name string, f func() string) {
+	if r == nil {
+		return
+	}
+	r.add(&column{name: name, label: f})
+}
+
+// Histogram registers a per-interval distribution over [lo, hi) with n
+// bins, emitting one column per requested quantile, named
+// "<name>_p<100q>" (e.g. resp_p95). The histogram resets at every sample
+// boundary so the quantiles describe that interval alone.
+func (r *Registry) Histogram(name string, lo, hi float64, n int, quantiles ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{h: stats.NewHistogram(lo, hi, n), qs: quantiles}
+	for _, q := range quantiles {
+		r.add(&column{
+			name: fmt.Sprintf("%s_p%g", name, q*100),
+			hist: h,
+			q:    q,
+		})
+	}
+	return h
+}
+
+// Sample appends one timeline row at simulated time t. The engine calls
+// it from its existing per-period tick, so enabling metrics schedules no
+// events of its own.
+func (r *Registry) Sample(t float64) {
+	if r == nil {
+		return
+	}
+	r.sampled = true
+	row := make([]float64, 0, r.nNum)
+	var labs []string
+	if r.nLab > 0 {
+		labs = make([]string, 0, r.nLab)
+	}
+	var resets []*Histogram
+	for _, c := range r.cols {
+		switch {
+		case c.label != nil:
+			labs = append(labs, c.label())
+			continue
+		case c.hist != nil:
+			row = append(row, c.hist.h.Quantile(c.q))
+			resets = append(resets, c.hist)
+			continue
+		}
+		var v float64
+		switch {
+		case c.counter != nil:
+			v = c.counter.v
+		case c.gauge != nil:
+			v = c.gauge.v
+		default:
+			v = c.poll()
+		}
+		if c.delta {
+			d := v - c.prev
+			c.prev = v
+			if d < 0 {
+				d = 0
+			}
+			v = d
+		}
+		row = append(row, v)
+	}
+	// A histogram may back several quantile columns; reset it once, after
+	// the whole row is built.
+	for i, h := range resets {
+		dup := false
+		for _, seen := range resets[:i] {
+			if seen == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			*h.h = *stats.NewHistogram(h.h.Lo, h.h.Hi, h.h.Bins())
+		}
+	}
+	r.times = append(r.times, t)
+	r.rows = append(r.rows, row)
+	r.labels = append(r.labels, labs)
+}
+
+// Len reports the number of samples taken.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.times)
+}
+
+// Times returns the sample times (aliased, do not modify).
+func (r *Registry) Times() []float64 {
+	if r == nil {
+		return nil
+	}
+	return r.times
+}
+
+// Names returns every column name in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Column returns the sampled series of a numeric column, or nil if the
+// name is unknown or names a label column.
+func (r *Registry) Column(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	idx := 0
+	for _, c := range r.cols {
+		if c.label != nil {
+			continue
+		}
+		if c.name == name {
+			out := make([]float64, len(r.rows))
+			for i, row := range r.rows {
+				out[i] = row[idx]
+			}
+			return out
+		}
+		idx++
+	}
+	return nil
+}
+
+// LabelColumn returns the sampled series of a label column, or nil.
+func (r *Registry) LabelColumn(name string) []string {
+	if r == nil {
+		return nil
+	}
+	idx := 0
+	for _, c := range r.cols {
+		if c.label == nil {
+			continue
+		}
+		if c.name == name {
+			out := make([]string, len(r.labels))
+			for i, labs := range r.labels {
+				out[i] = labs[idx]
+			}
+			return out
+		}
+		idx++
+	}
+	return nil
+}
+
+// WriteCSV renders the timeline: a header row ("t" plus every column in
+// registration order) followed by one row per sample. Floats are written
+// with enough precision to round-trip through strconv.ParseFloat.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b []byte
+	b = append(b, 't')
+	for _, c := range r.cols {
+		b = append(b, ',')
+		b = append(b, c.name...)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	for i := range r.times {
+		b = b[:0]
+		b = strconv.AppendFloat(b, r.times[i], 'g', -1, 64)
+		num, lab := 0, 0
+		for _, c := range r.cols {
+			b = append(b, ',')
+			if c.label != nil {
+				b = append(b, r.labels[i][lab]...)
+				lab++
+			} else {
+				b = strconv.AppendFloat(b, r.rows[i][num], 'g', -1, 64)
+				num++
+			}
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mobicache/internal/faults"
+	"mobicache/internal/metrics"
 	"mobicache/internal/sim"
 )
 
@@ -154,6 +155,35 @@ func (c *Channel) TotalLost() int64 {
 
 // TxTime reports how long a message of the given size occupies the channel.
 func (c *Channel) TxTime(bits float64) sim.Time { return bits / c.bw }
+
+// BusyTime reports cumulative transmission time, including the progress
+// of any message currently on the air.
+func (c *Channel) BusyTime() float64 { return c.fac.BusyNow() }
+
+// RegisterMetrics registers this channel's timeline columns on reg, all
+// named with the given prefix: per-interval utilization (busy fraction of
+// each sampling interval of the given length), bits accepted, queue
+// depth at the sample instant, and messages destroyed by the fault
+// model. No-op on a nil registry; polling draws no randomness and
+// schedules no events.
+func (c *Channel) RegisterMetrics(reg *metrics.Registry, prefix string, interval float64) {
+	if reg == nil {
+		return
+	}
+	var prevBusy float64
+	reg.GaugeFunc(prefix+"_util", func() float64 {
+		b := c.BusyTime()
+		d := b - prevBusy
+		prevBusy = b
+		if d < 0 { // stat reset (warmup boundary)
+			d = 0
+		}
+		return d / interval
+	})
+	reg.DeltaFunc(prefix+"_bits", c.TotalBits)
+	reg.GaugeFunc(prefix+"_queue", func() float64 { return float64(c.QueueLen()) })
+	reg.DeltaFunc(prefix+"_lost", func() float64 { return float64(c.TotalLost()) })
+}
 
 // Bits reports the total bits accepted for transmission in a class
 // (including any message still in flight).

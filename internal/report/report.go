@@ -79,6 +79,27 @@ func (k Kind) String() string {
 	}
 }
 
+// IRName renders the kind in the paper's invalidation-report notation —
+// IR(w) for the ordinary window report, IR(w') for the AAW
+// enlarged-window report, IR(BS) for bit sequences — used by the
+// observability timeline so a report-kind column reads like §3's figures.
+func (k Kind) IRName() string {
+	switch k {
+	case KindTS:
+		return "IR(w)"
+	case KindTSExt:
+		return "IR(w')"
+	case KindBS:
+		return "IR(BS)"
+	case KindAT:
+		return "IR(AT)"
+	case KindSIG:
+		return "IR(SIG)"
+	default:
+		return k.String()
+	}
+}
+
 // RecoveryMarker is the recovery-epoch announcement a restarted server
 // attaches to every report it broadcasts after a crash. The stateless
 // server keeps the database durable, but its in-memory update-history

@@ -8,6 +8,7 @@ package server
 import (
 	"mobicache/internal/core"
 	"mobicache/internal/db"
+	"mobicache/internal/metrics"
 	"mobicache/internal/netsim"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
@@ -97,6 +98,14 @@ type Server struct {
 	// the crash instant to the first post-restart report broadcast.
 	RecoveryLatency  stats.Tally
 	DroppedWhileDown int64 // uplink messages that arrived at a dead server
+
+	// Last-broadcast snapshot, maintained unconditionally (plain
+	// assignments: no allocation, no randomness, no events) so the
+	// observability timeline can poll what the scheme chose each interval.
+	broadcasts int64       // reports actually transmitted
+	lastKind   report.Kind // kind of the most recent report
+	lastBits   float64     // its size
+	lastW      float64     // its effective window w' in intervals (0 for BS/AT/SIG)
 }
 
 // New creates a server. updSeed feeds the update process RNG.
@@ -171,6 +180,35 @@ func (s *Server) Start() {
 
 // Down reports whether the server is currently crashed.
 func (s *Server) Down() bool { return s.isDown }
+
+// RegisterMetrics registers the server's timeline columns on reg: the
+// report kind the scheme chose each interval (paper notation, "-" when
+// the server broadcast nothing), its size and effective window w', the
+// crash state, and per-interval service counts. No-op on a nil registry.
+func (s *Server) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	var prevBroadcasts int64
+	reg.LabelFunc("report_kind", func() string {
+		if s.broadcasts == prevBroadcasts {
+			return "-" // silent boundary: crashed, or t=0 sample
+		}
+		prevBroadcasts = s.broadcasts
+		return s.lastKind.IRName()
+	})
+	reg.GaugeFunc("report_bits", func() float64 { return s.lastBits })
+	reg.GaugeFunc("window_w", func() float64 { return s.lastW })
+	reg.GaugeFunc("server_down", func() float64 {
+		if s.isDown {
+			return 1
+		}
+		return 0
+	})
+	reg.DeltaFunc("server_crashes", func() float64 { return float64(s.Crashes) })
+	reg.DeltaFunc("checks_served", func() float64 { return float64(s.ChecksServed) })
+	reg.DeltaFunc("items_served", func() float64 { return float64(s.ItemsServed) })
+}
 
 // Epoch reports the current recovery epoch (0 until the first crash).
 func (s *Server) Epoch() int32 { return s.epoch }
@@ -265,6 +303,17 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 		kind := r.Kind()
 		s.ReportsSent[kind]++
 		s.ReportBits[kind] += bits
+		s.broadcasts++
+		s.lastKind = kind
+		s.lastBits = bits
+		if tsr, ok := r.(*report.TSReport); ok {
+			// The report's own window start is authoritative: for AAW's
+			// enlarged reports it reaches back to the oldest requesting
+			// Tlb, so this is exactly the adjusted window w' of Figure 4.
+			s.lastW = (t - tsr.WindowStart) / s.cfg.Params.L
+		} else {
+			s.lastW = 0
+		}
 		s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ReportBroadcast,
 			Client: -1, A: int64(kind), B: int64(bits)})
 		s.lastIRDone = t + s.down.TxTime(bits)

@@ -85,6 +85,17 @@ func (f *Facility) Name() string { return f.name }
 // Busy reports accumulated service time.
 func (f *Facility) Busy() float64 { return f.busy }
 
+// BusyNow reports accumulated service time including the in-service
+// request's progress at the current simulated time; per-interval
+// utilization timelines difference it across sample boundaries.
+func (f *Facility) BusyNow() float64 {
+	b := f.busy
+	if f.cur != nil {
+		b += f.k.now - f.curStart
+	}
+	return b
+}
+
 // Served reports the number of completed requests.
 func (f *Facility) Served() int64 { return f.served }
 

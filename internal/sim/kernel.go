@@ -85,8 +85,9 @@ type Kernel struct {
 	// goroutine so finished simulations do not leak goroutines.
 	kill chan struct{}
 
-	procs    atomic.Int64 // live processes, for leak diagnostics
-	executed uint64
+	procs      atomic.Int64 // live processes, for leak diagnostics
+	executed   uint64
+	maxPending int
 }
 
 // New creates an empty kernel at time 0.
@@ -114,6 +115,11 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // Pending reports how many events are queued.
 func (k *Kernel) Pending() int { return len(k.events) }
 
+// MaxPending reports the calendar's high-water mark — the deepest the
+// event queue ever got. Run manifests record it as a kernel self-profile
+// figure (memory pressure scales with it).
+func (k *Kernel) MaxPending() int { return k.maxPending }
+
 // Schedule queues fn to run delay seconds from now and returns a handle
 // that can be cancelled. It panics on a negative delay.
 func (k *Kernel) Schedule(delay Time, fn func()) *Event {
@@ -134,6 +140,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	k.seq++
 	e := &Event{t: t, seq: k.seq, fn: fn}
 	heap.Push(&k.events, e)
+	if len(k.events) > k.maxPending {
+		k.maxPending = len(k.events)
+	}
 	return e
 }
 

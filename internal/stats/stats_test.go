@@ -240,3 +240,64 @@ func TestMedian(t *testing.T) {
 		t.Fatal("Median mutated its input")
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(5, 10, 8)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	h.Observe(3)
+	h.Observe(7)
+	// With one bin the quantile interpolates across the whole [Lo, Hi)
+	// range: q=0.5 lands mid-bin, q=1 at the upper edge.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("single-bucket Quantile(0.5) = %v, want 5", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("single-bucket Quantile(1) = %v, want 10", got)
+	}
+	if got := h.Quantile(0); got > 5 {
+		t.Fatalf("single-bucket Quantile(0) = %v, want lower half", got)
+	}
+}
+
+func TestHistogramQuantileUpperBoundClamp(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Observe(50)
+	h.Observe(1e9) // far past Hi: counted as overflow
+	h.Observe(150) // just past Hi: also overflow
+	if h.Over() != 2 {
+		t.Fatalf("over = %d, want 2", h.Over())
+	}
+	// Quantiles that land in the overflow mass clamp to Hi rather than
+	// extrapolating beyond the histogram range.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("Quantile(0.99) = %v, want Hi (100)", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %v, want Hi (100)", got)
+	}
+	// The in-range observation still anchors the low quantiles.
+	if got := h.Quantile(0.2); got < 50 || got > 60 {
+		t.Fatalf("Quantile(0.2) = %v, want within bin of 50", got)
+	}
+}
+
+func TestHistogramQuantileUnderflowMapsToLo(t *testing.T) {
+	h := NewHistogram(10, 20, 5)
+	h.Observe(-3)
+	h.Observe(5)
+	h.Observe(15)
+	if h.Under() != 2 {
+		t.Fatalf("under = %d, want 2", h.Under())
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile(0.5) = %v, want Lo (10) while in underflow mass", got)
+	}
+}

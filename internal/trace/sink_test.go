@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONLSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Write(Event{T: 20.5, Kind: QueryDone, Client: 3, A: 7, B: -1}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":20.5,"kind":"query-done","client":3,"a":7,"b":-1}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("line = %q, want %q", buf.String(), want)
+	}
+	// Every kind must produce valid JSON (names are embedded unescaped).
+	buf.Reset()
+	for k := Kind(0); k < numKinds; k++ {
+		if err := s.Write(Event{T: 1, Kind: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := json.NewDecoder(&buf)
+	for k := Kind(0); k < numKinds; k++ {
+		var v struct {
+			Kind string `json:"kind"`
+		}
+		if err := dec.Decode(&v); err != nil {
+			t.Fatalf("kind %v produced unparseable JSON: %v", k, err)
+		}
+		if v.Kind != k.String() {
+			t.Fatalf("kind %v rendered as %q", k, v.Kind)
+		}
+	}
+}
+
+func TestSinkStreamsBeyondRing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(3).SetSink(NewJSONLSink(&buf))
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{T: float64(i), Kind: QueryStart})
+	}
+	if n := len(tr.Events()); n != 3 {
+		t.Fatalf("ring retained %d, want 3", n)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 10 {
+		t.Fatalf("sink saw %d events, want all 10", lines)
+	}
+	if tr.SinkErr() != nil {
+		t.Fatal(tr.SinkErr())
+	}
+}
+
+func TestSinkRespectsKindFilter(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(8).Only(CacheDrop).SetSink(NewJSONLSink(&buf))
+	tr.Record(Event{T: 1, Kind: QueryStart})
+	tr.Record(Event{T: 2, Kind: CacheDrop})
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Fatalf("sink saw %d events, want only the unfiltered one", lines)
+	}
+}
+
+type failingSink struct{ calls int }
+
+func (s *failingSink) Write(Event) error {
+	s.calls++
+	return errors.New("disk full")
+}
+
+func TestSinkErrorStopsWrites(t *testing.T) {
+	s := &failingSink{}
+	tr := New(4).SetSink(s)
+	tr.Record(Event{T: 1, Kind: QueryStart})
+	tr.Record(Event{T: 2, Kind: QueryStart})
+	if s.calls != 1 {
+		t.Fatalf("sink called %d times after error, want 1", s.calls)
+	}
+	if tr.SinkErr() == nil || tr.SinkErr().Error() != "disk full" {
+		t.Fatalf("SinkErr = %v", tr.SinkErr())
+	}
+	// The ring keeps recording regardless.
+	if tr.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", tr.Total())
+	}
+	// Reattaching clears the stored error.
+	if tr.SetSink(nil).SinkErr() != nil {
+		t.Fatal("SetSink did not clear the sink error")
+	}
+}
+
+func TestFlushMatchesWriteText(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{T: float64(i), Kind: ReportBroadcast, Client: int32(i)})
+	}
+	var viaFlush, viaWrite bytes.Buffer
+	if err := tr.Flush(NewTextSink(&viaFlush)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteText(&viaWrite); err != nil {
+		t.Fatal(err)
+	}
+	if viaFlush.String() != viaWrite.String() {
+		t.Fatalf("Flush text dump diverged from WriteText:\n%s\nvs\n%s",
+			viaFlush.String(), viaWrite.String())
+	}
+}
+
+func TestCapacityIsAHint(t *testing.T) {
+	// A huge requested capacity must not preallocate: memory follows the
+	// events actually recorded.
+	tr := New(1 << 30)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{T: float64(i), Kind: QueryStart})
+	}
+	evs := tr.Events()
+	if len(evs) != 5 || evs[0].T != 0 || evs[4].T != 4 {
+		t.Fatalf("events = %v", evs)
+	}
+	if cap(evs) > 4096 {
+		t.Fatalf("returned slice capacity %d suggests upfront allocation", cap(evs))
+	}
+}
+
+func TestCountIsCumulative(t *testing.T) {
+	// Count reports events recorded, including ones the ring has evicted
+	// (O(1) per-kind counters, not a ring scan).
+	tr := New(2)
+	for i := 0; i < 9; i++ {
+		tr.Record(Event{Kind: CacheDrop})
+	}
+	tr.Record(Event{Kind: QueryDone})
+	if got := tr.Count(CacheDrop); got != 9 {
+		t.Fatalf("Count(CacheDrop) = %d, want 9 (evicted events included)", got)
+	}
+	if got := tr.Count(QueryDone); got != 1 {
+		t.Fatalf("Count(QueryDone) = %d, want 1", got)
+	}
+	if got := tr.Count(Kind(200)); got != 0 {
+		t.Fatalf("Count(out of range) = %d, want 0", got)
+	}
+}

@@ -121,21 +121,38 @@ func (e Event) String() string {
 // Tracer is a fixed-capacity ring of events. The zero value is a disabled
 // tracer that drops everything; create a live one with New. All methods
 // are safe on a nil receiver (recording to nil is a no-op), so model code
-// can call unconditionally.
+// can call unconditionally. An attached Sink (SetSink) additionally
+// receives every recorded event before ring eviction can touch it.
 type Tracer struct {
-	buf   []Event
-	next  int
-	total uint64
-	mask  uint32
+	buf    []Event
+	next   int
+	limit  int
+	total  uint64
+	counts [numKinds]uint64
+	mask   uint32
+
+	sink    Sink
+	sinkErr error
 }
 
+// ringPrealloc bounds the ring storage allocated up front; capacities
+// beyond it are honored lazily as the ring fills (capacity is a hint for
+// the retention window, not an immediate allocation).
+const ringPrealloc = 1024
+
 // New creates a tracer keeping the most recent capacity events, recording
-// every kind. Use Only to restrict kinds.
+// every kind. Use Only to restrict kinds. Capacity is a retention hint:
+// storage grows on demand up to it, so asking for a huge window costs
+// only what the run actually records.
 func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	return &Tracer{buf: make([]Event, 0, capacity), mask: 1<<numKinds - 1}
+	pre := capacity
+	if pre > ringPrealloc {
+		pre = ringPrealloc
+	}
+	return &Tracer{buf: make([]Event, 0, pre), limit: capacity, mask: 1<<numKinds - 1}
 }
 
 // Only restricts recording to the given kinds and returns the tracer.
@@ -152,18 +169,25 @@ func (t *Tracer) Enabled(k Kind) bool {
 	return t != nil && t.mask&(1<<k) != 0
 }
 
-// Record stores an event (dropping the oldest when full). No-op on nil.
+// Record stores an event (dropping the oldest when full) and forwards it
+// to the attached sink, if any. No-op on nil.
 func (t *Tracer) Record(e Event) {
 	if t == nil || t.mask&(1<<e.Kind) == 0 {
 		return
 	}
 	t.total++
-	if len(t.buf) < cap(t.buf) {
+	t.counts[e.Kind]++
+	if t.sink != nil && t.sinkErr == nil {
+		if err := t.sink.Write(e); err != nil {
+			t.sinkErr = err
+		}
+	}
+	if len(t.buf) < t.limit {
 		t.buf = append(t.buf, e)
 		return
 	}
 	t.buf[t.next] = e
-	t.next = (t.next + 1) % cap(t.buf)
+	t.next = (t.next + 1) % t.limit
 }
 
 // Total reports how many events were recorded (including evicted ones).
@@ -180,12 +204,8 @@ func (t *Tracer) Events() []Event {
 		return nil
 	}
 	out := make([]Event, 0, len(t.buf))
-	if len(t.buf) == cap(t.buf) {
-		out = append(out, t.buf[t.next:]...)
-		out = append(out, t.buf[:t.next]...)
-	} else {
-		out = append(out, t.buf...)
-	}
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
 	return out
 }
 
@@ -199,13 +219,12 @@ func (t *Tracer) WriteText(w io.Writer) error {
 	return nil
 }
 
-// Count returns how many retained events have kind k.
+// Count returns how many events of kind k were recorded, including ones
+// already evicted from the ring. O(1) and allocation-free: the per-kind
+// totals are maintained by Record, so callers may poll it in loops.
 func (t *Tracer) Count(k Kind) int {
-	n := 0
-	for _, e := range t.Events() {
-		if e.Kind == k {
-			n++
-		}
+	if t == nil || k >= numKinds {
+		return 0
 	}
-	return n
+	return int(t.counts[k])
 }

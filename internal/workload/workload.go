@@ -8,6 +8,8 @@ package workload
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"mobicache/internal/rng"
 )
@@ -153,6 +155,28 @@ func HotCold(n int) Workload {
 		Update:      UniformAccess{N: n},
 		QueryItems:  rng.UniformInt{Lo: 1, Hi: 19},
 		UpdateItems: rng.UniformInt{Lo: 1, Hi: 9},
+	}
+}
+
+// Parse builds a workload over an n-item database from a name. It
+// accepts both the command-line spellings ("uniform", "hotcold",
+// "zipf:0.8") and the canonical Workload.Name forms ("UNIFORM",
+// "HOTCOLD", "ZIPF-0.80"), so a run manifest's recorded workload feeds
+// straight back in.
+func Parse(name string, n int) (Workload, error) {
+	switch s := strings.ToLower(name); {
+	case s == "uniform":
+		return Uniform(n), nil
+	case s == "hotcold":
+		return HotCold(n), nil
+	case strings.HasPrefix(s, "zipf:") || strings.HasPrefix(s, "zipf-"):
+		theta, err := strconv.ParseFloat(s[len("zipf:"):], 64)
+		if err != nil || theta <= 0 {
+			return Workload{}, fmt.Errorf("workload: bad zipf parameter in %q", name)
+		}
+		return Zipf(n, theta), nil
+	default:
+		return Workload{}, fmt.Errorf("workload: unknown workload %q (want uniform, hotcold, or zipf:theta)", name)
 	}
 }
 

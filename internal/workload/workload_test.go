@@ -161,3 +161,45 @@ func TestZipfWorkloadShape(t *testing.T) {
 		t.Fatalf("name = %q", w.Name)
 	}
 }
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"uniform", "UNIFORM"},
+		{"UNIFORM", "UNIFORM"},
+		{"hotcold", "HOTCOLD"},
+		{"HOTCOLD", "HOTCOLD"},
+		{"zipf:0.8", "ZIPF-0.80"},
+		{"ZIPF-0.80", "ZIPF-0.80"},
+		{"zipf:1.2", "ZIPF-1.20"},
+	}
+	for _, c := range cases {
+		w, err := Parse(c.in, 1000)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if w.Name != c.want {
+			t.Fatalf("Parse(%q).Name = %q, want %q", c.in, w.Name, c.want)
+		}
+		if w.Query == nil || w.Update == nil {
+			t.Fatalf("Parse(%q) returned incomplete workload", c.in)
+		}
+	}
+	// Canonical names round-trip: Parse(w.Name) reproduces the workload.
+	for _, w := range []Workload{Uniform(500), HotCold(500), Zipf(500, 0.95)} {
+		again, err := Parse(w.Name, 500)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", w.Name, err)
+		}
+		if again.Name != w.Name {
+			t.Fatalf("round trip %q -> %q", w.Name, again.Name)
+		}
+	}
+	for _, bad := range []string{"", "bogus", "zipf:", "zipf:x", "zipf:-1", "zipf:0"} {
+		if _, err := Parse(bad, 1000); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

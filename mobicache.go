@@ -19,12 +19,16 @@
 package mobicache
 
 import (
+	"io"
 	"sort"
 
 	"mobicache/internal/core"
 	"mobicache/internal/engine"
+	"mobicache/internal/exp"
 	"mobicache/internal/faults"
+	"mobicache/internal/metrics"
 	"mobicache/internal/multicell"
+	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
 
@@ -78,6 +82,49 @@ type RetryPolicy = faults.RetryPolicy
 // Bernoulli is the degenerate single-state loss model: each message lost
 // independently with probability p (the legacy ReportLossProb behaviour).
 func Bernoulli(p float64) GEParams { return faults.Bernoulli(p) }
+
+// MetricsRegistry collects named instruments sampled once per broadcast
+// interval into a per-run timeline (Config.Metrics). Sampling rides the
+// engine's existing per-period tick: enabling it schedules no extra
+// events and draws no randomness, so seeded results stay bit-identical.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry creates an empty timeline registry; assign it to
+// Config.Metrics before Run and render it with WriteCSV or PlotTimeline
+// afterwards.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// Tracer is the bounded protocol-event ring (Config.Trace).
+type Tracer = trace.Tracer
+
+// NewTracer creates a tracer retaining up to the last n events; n is a
+// capacity hint, memory grows with events actually recorded.
+func NewTracer(n int) *Tracer { return trace.New(n) }
+
+// NewJSONLTraceSink streams every recorded event to w as one JSON object
+// per line; install it with Tracer.SetSink for lossless export beyond
+// the retained ring.
+func NewJSONLTraceSink(w io.Writer) trace.Sink { return trace.NewJSONLSink(w) }
+
+// Manifest is the reproducibility record of one run: config, seed,
+// result digest, and the kernel's self-profile (see engine.Manifest).
+type Manifest = engine.Manifest
+
+// NewManifest builds the manifest of a completed run.
+func NewManifest(r *Results) *Manifest { return engine.NewManifest(r) }
+
+// ReadManifest parses a manifest previously written with WriteJSON.
+func ReadManifest(r io.Reader) (*Manifest, error) { return engine.ReadManifest(r) }
+
+// PlotTimeline renders the named numeric columns of a sampled registry
+// as an ASCII chart: simulated time on the x axis, one glyph per column.
+func PlotTimeline(title string, reg *MetricsRegistry, width, height int, cols ...string) (string, error) {
+	t, err := exp.TimelineFigure(title, reg, cols...)
+	if err != nil {
+		return "", err
+	}
+	return t.Plot(width, height), nil
+}
 
 // MulticellConfig describes a multi-cell simulation (see
 // internal/multicell): several mobile support stations over a replicated
