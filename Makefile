@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke bench mobilint clean
+.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke overload-smoke bench mobilint clean
 
 all: build lint test
 
@@ -27,15 +27,24 @@ lint: mobilint
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath $(MOBILINT)) ./...
 
-# Short native-fuzz run over the invalidation-report codec.
+# Short native-fuzz runs: the invalidation-report codec and the workload
+# name parser (manifest round-trip property).
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz='Fuzz.*IR' -fuzztime=10s ./internal/core
+	$(GO) test -run Fuzz -fuzz=FuzzWorkloadParse -fuzztime=10s ./internal/workload
 
 # Quick compound-fault pass: the ext-chaos sweep (bursty loss +
 # corruption + server crashes, all seven schemes) at a short horizon.
 # The sweep's own check fails the run on any stale read.
 chaos-smoke:
 	$(GO) run ./cmd/experiments -figure ext-chaos-thr -simtime 4000 -out results-chaos
+
+# Saturation/soak pass: the ext-overload sweep (offered load 1x..8x the
+# uplink's fetch-request capacity with the full degradation layer, all
+# seven schemes) at a short horizon. The sweep's own check fails the run
+# on any stale read, broken accounting identity, or queue past its cap.
+overload-smoke:
+	$(GO) run ./cmd/experiments -figure ext-overload-thr -simtime 4000 -out results-overload
 
 # Observability smoke: one instrumented run emitting all three artifacts
 # (metrics timeline, lossless JSONL event stream, run manifest), each

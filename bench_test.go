@@ -228,3 +228,31 @@ func BenchmarkChannelSaturated(b *testing.B) {
 	b.ResetTimer()
 	k.Run(sim.EndOfTime)
 }
+
+// BenchmarkChannelBoundedShed measures the tail-drop fast path: one
+// message in service and the queue pinned at its cap, so every Send is
+// rejected at admission. The overload contract requires this path to be
+// allocation-free and to schedule nothing — shedding under saturation
+// must not itself cost memory or kernel work.
+func BenchmarkChannelBoundedShed(b *testing.B) {
+	k := sim.New()
+	ch := netsim.NewChannel(k, "up", 1e6)
+	ch.SetQueueCap(4)
+	for i := 0; i < 5; i++ { // one in service + four queued = cap reached
+		if !ch.Send(netsim.ClassControl, 100, nil) {
+			b.Fatal("prefill shed before the cap was reached")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ch.Send(netsim.ClassControl, 100, nil) {
+			b.Fatal("send admitted past a full queue")
+		}
+	}
+	if testing.AllocsPerRun(100, func() {
+		ch.Send(netsim.ClassControl, 100, nil)
+	}) != 0 {
+		b.Fatal("shed path allocates")
+	}
+}

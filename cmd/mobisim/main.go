@@ -26,6 +26,7 @@ import (
 	"mobicache/internal/core"
 	"mobicache/internal/engine"
 	"mobicache/internal/metrics"
+	"mobicache/internal/overload"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -71,6 +72,11 @@ func run(args []string, out *os.File) error {
 	fromManifest := fs.String("from-manifest", "", "replay the run recorded in this manifest file and verify its result digest (overrides config flags)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+	upQueueCap := fs.Int("up-queue-cap", 0, "bound the uplink queue to N waiting messages (0 = unbounded)")
+	downQueueCap := fs.Int("down-queue-cap", 0, "bound the downlink queue to N waiting messages (0 = unbounded)")
+	queryDeadline := fs.Float64("query-deadline", 0, "abandon queries unanswered after this many simulated seconds (0 = wait forever)")
+	pendingCap := fs.Int("server-pending-cap", 0, "bound the server's pending-fetch table; excess fetches get a busy reply (0 = unbounded)")
+	coalesce := fs.Bool("coalesce", false, "merge concurrent fetches of one item into a single downlink transmission")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
 	verbose := fs.Bool("v", false, "print the full metric breakdown")
 
@@ -112,6 +118,13 @@ func run(args []string, out *os.File) error {
 		c.SimTime = *simTime
 		c.Seed = *seed
 		c.ConsistencyCheck = *check
+		c.Overload = overload.Config{
+			UpQueueCap:       *upQueueCap,
+			DownQueueCap:     *downQueueCap,
+			QueryDeadline:    *queryDeadline,
+			ServerPendingCap: *pendingCap,
+			Coalesce:         *coalesce,
+		}
 		var err error
 		if c.Workload, err = workload.Parse(*wl, c.DBSize); err != nil {
 			return err
@@ -305,6 +318,19 @@ type jsonResults struct {
 	ItemsFetched         int64   `json:"items_fetched"`
 	StaleValidityDropped int64   `json:"stale_validity_dropped"`
 
+	QueriesIssued    int64 `json:"queries_issued"`
+	QueriesTimedOut  int64 `json:"queries_timed_out"`
+	QueriesShed      int64 `json:"queries_shed"`
+	QueriesInFlight  int64 `json:"queries_in_flight"`
+	BusyHeard        int64 `json:"busy_heard"`
+	UpShedMsgs       int64 `json:"up_shed_msgs"`
+	DownShedMsgs     int64 `json:"down_shed_msgs"`
+	UpPeakQueue      int   `json:"up_peak_queue"`
+	DownPeakQueue    int   `json:"down_peak_queue"`
+	CoalescedFetches int64 `json:"coalesced_fetches"`
+	BusyReplies      int64 `json:"busy_replies"`
+	RepliesShed      int64 `json:"replies_shed"`
+
 	MeasuredTime          float64 `json:"measured_time_s"`
 	Events                uint64  `json:"events"`
 	PeakEventQueue        int     `json:"peak_event_queue"`
@@ -367,6 +393,19 @@ func writeJSON(out *os.File, r *engine.Results) error {
 		ItemsFetched:         r.ItemsFetched,
 		StaleValidityDropped: r.StaleValidityDropped,
 
+		QueriesIssued:    r.QueriesIssued,
+		QueriesTimedOut:  r.QueriesTimedOut,
+		QueriesShed:      r.QueriesShed,
+		QueriesInFlight:  r.QueriesInFlight,
+		BusyHeard:        r.BusyHeard,
+		UpShedMsgs:       r.UpShedMsgs,
+		DownShedMsgs:     r.DownShedMsgs,
+		UpPeakQueue:      r.UpPeakQueue,
+		DownPeakQueue:    r.DownPeakQueue,
+		CoalescedFetches: r.CoalescedFetches,
+		BusyReplies:      r.BusyReplies,
+		RepliesShed:      r.RepliesShed,
+
 		MeasuredTime:          r.MeasuredTime,
 		Events:                r.Events,
 		PeakEventQueue:        r.PeakEventQueue,
@@ -401,6 +440,14 @@ func printResults(out *os.File, r *engine.Results, verbose bool) {
 		fmt.Fprintf(out, "disconnections:          %d (mean %.0f s)\n", r.Disconnections, r.MeanDisconnectedFor)
 		fmt.Fprintf(out, "max response time:       %.1f s\n", r.MaxResponse)
 		fmt.Fprintf(out, "report overruns:         %d\n", r.IROverruns)
+		if r.Config.Overload.Enabled() {
+			fmt.Fprintf(out, "queries issued/timeout/shed/open: %d / %d / %d / %d\n",
+				r.QueriesIssued, r.QueriesTimedOut, r.QueriesShed, r.QueriesInFlight)
+			fmt.Fprintf(out, "channel sheds (up/down): %d / %d (peak queues %d / %d)\n",
+				r.UpShedMsgs, r.DownShedMsgs, r.UpPeakQueue, r.DownPeakQueue)
+			fmt.Fprintf(out, "coalesced / busy replies: %d / %d (heard %d, shed %d)\n",
+				r.CoalescedFetches, r.BusyReplies, r.BusyHeard, r.RepliesShed)
+		}
 		fmt.Fprintf(out, "simulated events:        %d (peak queue %d)\n", r.Events, r.PeakEventQueue)
 		if r.Config.ConsistencyCheck {
 			fmt.Fprintf(out, "consistency violations:  %d\n", r.ConsistencyViolations)

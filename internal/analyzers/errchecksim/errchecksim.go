@@ -20,13 +20,35 @@ import (
 // dropped.
 var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report"}
 
+// shedPkgs are the package-path suffixes whose boolean admission verdicts
+// must not be dropped. A bounded channel's Send returns false when the
+// message was tail-dropped; ignoring that verdict double-counts the
+// message as sent and silently breaks the overload accounting identity.
+var shedPkgs = []string{"internal/netsim"}
+
 // Analyzer is the errcheck-sim check.
 var Analyzer = &framework.Analyzer{
 	Name: "errcheck-sim",
 	Doc: "flag dropped errors from internal/bitio, internal/bitseq and " +
-		"internal/report encode/decode calls; codec failures must surface, " +
-		"not corrupt figures",
+		"internal/report encode/decode calls, and dropped bounded-channel " +
+		"admission verdicts from internal/netsim; codec failures and shed " +
+		"sends must surface, not corrupt figures",
 	Run: run,
+}
+
+// category describes one family of must-not-drop results: which packages
+// it covers, which result type carries the verdict, and how to phrase the
+// diagnostic.
+type category struct {
+	pkgs    []string
+	match   func(types.Type) bool
+	noun    string // what was dropped, e.g. "error"
+	verdict string // why it matters, e.g. "codec failures must be handled"
+}
+
+var categories = []category{
+	{codecPkgs, isErrorType, "error", "codec failures must be handled"},
+	{shedPkgs, isBoolType, "shed verdict", "a tail-dropped send must be handled"},
 }
 
 func run(pass *framework.Pass) error {
@@ -37,19 +59,19 @@ func run(pass *framework.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
-				if fn := codecErrCall(pass, n.X); fn != nil {
-					pass.Reportf(n.Pos(), "error from %s.%s dropped: codec failures must be handled",
-						fn.Pkg().Name(), fn.Name())
+				if fn, cat := watchedCall(pass, n.X); fn != nil {
+					pass.Reportf(n.Pos(), "%s from %s.%s dropped: %s",
+						cat.noun, fn.Pkg().Name(), fn.Name(), cat.verdict)
 				}
 			case *ast.GoStmt:
-				if fn := codecErrCall(pass, n.Call); fn != nil {
-					pass.Reportf(n.Pos(), "error from %s.%s dropped by go statement: codec failures must be handled",
-						fn.Pkg().Name(), fn.Name())
+				if fn, cat := watchedCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "%s from %s.%s dropped by go statement: %s",
+						cat.noun, fn.Pkg().Name(), fn.Name(), cat.verdict)
 				}
 			case *ast.DeferStmt:
-				if fn := codecErrCall(pass, n.Call); fn != nil {
-					pass.Reportf(n.Pos(), "error from %s.%s dropped by defer: codec failures must be handled",
-						fn.Pkg().Name(), fn.Name())
+				if fn, cat := watchedCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "%s from %s.%s dropped by defer: %s",
+						cat.noun, fn.Pkg().Name(), fn.Name(), cat.verdict)
 				}
 			case *ast.AssignStmt:
 				checkAssign(pass, n)
@@ -60,24 +82,24 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// checkAssign flags `a, _ := codecCall()` where the blank identifier
-// lands on an error result.
+// checkAssign flags `a, _ := watchedCall()` where the blank identifier
+// lands on a watched result.
 func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
-	// Only the single-call multi-value form can hide an error result
+	// Only the single-call multi-value form can hide a watched result
 	// positionally; `x, y := f(), g()` pairs one value per expression.
 	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
-		fn := codecErrCall(pass, as.Rhs[0])
+		fn, cat := watchedCall(pass, as.Rhs[0])
 		if fn == nil {
 			return
 		}
 		sig := fn.Type().(*types.Signature)
 		for i := 0; i < sig.Results().Len() && i < len(as.Lhs); i++ {
-			if !isErrorType(sig.Results().At(i).Type()) {
+			if !cat.match(sig.Results().At(i).Type()) {
 				continue
 			}
 			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
-				pass.Reportf(as.Pos(), "error from %s.%s assigned to blank: codec failures must be handled",
-					fn.Pkg().Name(), fn.Name())
+				pass.Reportf(as.Pos(), "%s from %s.%s assigned to blank: %s",
+					cat.noun, fn.Pkg().Name(), fn.Name(), cat.verdict)
 			}
 		}
 		return
@@ -86,23 +108,24 @@ func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
 		if i >= len(as.Lhs) {
 			break
 		}
-		fn := codecErrCall(pass, rhs)
+		fn, cat := watchedCall(pass, rhs)
 		if fn == nil {
 			continue
 		}
 		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
-			pass.Reportf(as.Pos(), "error from %s.%s assigned to blank: codec failures must be handled",
-				fn.Pkg().Name(), fn.Name())
+			pass.Reportf(as.Pos(), "%s from %s.%s assigned to blank: %s",
+				cat.noun, fn.Pkg().Name(), fn.Name(), cat.verdict)
 		}
 	}
 }
 
-// codecErrCall reports the called function when expr is a call into a
-// codec package whose results include an error.
-func codecErrCall(pass *framework.Pass, expr ast.Expr) *types.Func {
+// watchedCall reports the called function and its category when expr is a
+// call into a watched package whose results include that category's
+// verdict type.
+func watchedCall(pass *framework.Pass, expr ast.Expr) (*types.Func, *category) {
 	call, ok := expr.(*ast.CallExpr)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	var ident *ast.Ident
 	switch fun := call.Fun.(type) {
@@ -111,26 +134,32 @@ func codecErrCall(pass *framework.Pass, expr ast.Expr) *types.Func {
 	case *ast.SelectorExpr:
 		ident = fun.Sel
 	default:
-		return nil
+		return nil, nil
 	}
 	fn, ok := pass.TypesInfo.Uses[ident].(*types.Func)
-	if !ok || fn.Pkg() == nil || !isCodecPkg(fn.Pkg().Path()) {
-		return nil
+	if !ok || fn.Pkg() == nil {
+		return nil, nil
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
-		return nil
+		return nil, nil
 	}
-	for i := 0; i < sig.Results().Len(); i++ {
-		if isErrorType(sig.Results().At(i).Type()) {
-			return fn
+	for c := range categories {
+		cat := &categories[c]
+		if !pkgInSet(fn.Pkg().Path(), cat.pkgs) {
+			continue
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if cat.match(sig.Results().At(i).Type()) {
+				return fn, cat
+			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
-func isCodecPkg(path string) bool {
-	for _, s := range codecPkgs {
+func pkgInSet(path string, set []string) bool {
+	for _, s := range set {
 		if framework.PathHasSuffix(path, s) {
 			return true
 		}
@@ -141,4 +170,9 @@ func isCodecPkg(path string) bool {
 func isErrorType(t types.Type) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isBoolType(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.Bool
 }

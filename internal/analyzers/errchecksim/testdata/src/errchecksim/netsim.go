@@ -1,0 +1,23 @@
+package errchecksim
+
+import "internal/netsim"
+
+// BadShed drops the bounded-channel admission verdict in every way the
+// analyzer catches.
+func BadShed(ch *netsim.Channel) {
+	ch.Send(netsim.ClassControl, 64, nil)         // want `shed verdict from netsim\.Send dropped`
+	go ch.Send(netsim.ClassData, 8192, nil)       // want `shed verdict from netsim\.Send dropped by go statement`
+	defer ch.Send(netsim.ClassControl, 64, nil)   // want `shed verdict from netsim\.Send dropped by defer`
+	_ = ch.Send(netsim.ClassData, 8192, nil)      // want `shed verdict from netsim\.Send assigned to blank`
+}
+
+// GoodShed handles or deliberately annotates every admission verdict.
+func GoodShed(ch *netsim.Channel) int64 {
+	if !ch.Send(netsim.ClassControl, 64, nil) {
+		return ch.TotalShed()
+	}
+	ch.TotalShed() // no bool result: not the analyzer's business
+	//lint:allow errcheck-sim the report class is exempt from admission and never shed
+	ch.Send(netsim.ClassReport, 212, nil)
+	return 0
+}

@@ -1,0 +1,26 @@
+// Package netsim is a fixture standing in for mobicache/internal/netsim:
+// the errcheck-sim analyzer treats any package path ending in
+// internal/netsim as a shed-verdict package, so its bool-returning calls
+// must not be dropped.
+package netsim
+
+// Class mimics the traffic-class enum.
+type Class int
+
+// Traffic classes.
+const (
+	ClassReport Class = iota
+	ClassControl
+	ClassData
+)
+
+// Channel mimics the bounded shared channel.
+type Channel struct{}
+
+// Send mimics the admission-checked transmit: false means tail-dropped.
+func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
+	return true
+}
+
+// TotalShed has no bool result; calls to it are never flagged.
+func (c *Channel) TotalShed() int64 { return 0 }

@@ -28,6 +28,7 @@ var Restricted = []string{
 	"internal/netsim",
 	"internal/faults",
 	"internal/metrics",
+	"internal/overload",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

@@ -102,6 +102,12 @@ type Config struct {
 	// (the next report regenerates them) and re-requests unfinished
 	// fetches with capped exponential backoff.
 	Retry faults.RetryPolicy
+	// QueryDeadline abandons a query unanswered after this many simulated
+	// seconds: the fetch generation is cancelled (late deliveries only
+	// refresh the cache), any half-open validation exchange is abandoned,
+	// and the query is counted as timed out instead of answered. 0 keeps
+	// the legacy wait-forever behaviour and schedules no deadline events.
+	QueryDeadline float64
 }
 
 // Client is one mobile host.
@@ -117,6 +123,7 @@ type Client struct {
 	validated *sim.Signal
 	fetchSig  *sim.Signal
 	pending   int
+	queryOpen bool // a query is issued but not yet answered/timed out/shed
 
 	// Fault-injection state.
 	downGE    *faults.GE     // report reception loss/corruption, nil when clean
@@ -130,7 +137,11 @@ type Client struct {
 	missIDs  []int32
 
 	// Statistics.
+	QueriesIssued        int64
 	QueriesAnswered      int64
+	QueriesTimedOut      int64
+	QueriesShed          int64
+	BusyHeard            int64
 	ItemsRequested       int64
 	ItemsFromCache       int64
 	RespTime             stats.Tally
@@ -253,6 +264,26 @@ func (c *Client) DeliverValidity(v *report.ValidityReport, now sim.Time) {
 	c.handleOutcome(c.cfg.Side.HandleValidity(c.st, v, now), now)
 }
 
+// DeliverBusy implements server.Receiver: the server's admission control
+// rejected a fetch beyond its pending-table high-water mark. The client
+// only counts it — recovery rides the machinery that is already armed
+// (the backed-off retry timer re-requests, or the query deadline
+// eventually abandons the fetch).
+func (c *Client) DeliverBusy(id int32, now sim.Time) {
+	c.BusyHeard++
+}
+
+// InFlight reports whether a query is currently open: issued but not yet
+// answered, timed out, or shed. The engine folds it into the accounting
+// identity issued == answered + timed_out + shed + in_flight, computed
+// from independent counters so the check is non-tautological.
+func (c *Client) InFlight() int64 {
+	if c.queryOpen {
+		return 1
+	}
+	return 0
+}
+
 // DeliverItem implements server.Receiver: a fetched item arrives and is
 // cached with the version timestamp it carried.
 func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) {
@@ -286,22 +317,29 @@ func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
 	}
 	if out.Send != nil {
 		bits := float64(out.Send.SizeBits(c.cfg.Params.Rep))
-		c.ValidationUplinkBits += bits
-		c.ValidationUplinkMsgs++
 		msg := out.Send
 		isFeedback := msg.Feedback != nil
 		kindArg := int64(0)
 		if isFeedback {
 			kindArg = 1
 		}
-		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ControlSent,
-			Client: c.cfg.ID, A: kindArg, B: int64(bits)})
-		c.up.Send(netsim.ClassControl, bits, func() {
+		// A bounded uplink may tail-drop the message; only admitted sends
+		// count toward the uplink accounting (keeping it consistent with
+		// the channel's own). Recovery needs no extra machinery: the
+		// control timeout below or the query deadline abandons the
+		// exchange and the next broadcast report regenerates it.
+		admitted := c.up.Send(netsim.ClassControl, bits, func() {
 			if isFeedback {
 				c.st.FeedbackDeliveredAt = c.k.Now()
 			}
 			c.server.OnControl(msg, c.k.Now())
 		})
+		if admitted {
+			c.ValidationUplinkBits += bits
+			c.ValidationUplinkMsgs++
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ControlSent,
+				Client: c.cfg.ID, A: kindArg, B: int64(bits)})
+		}
 		c.scheduleCtrlTimeout(kindArg + 1)
 	}
 	if out.Ready {
@@ -409,10 +447,28 @@ func (c *Client) disconnect(p *sim.Proc) {
 }
 
 // answer resolves one query: wait for a report that validates the cache
-// past the query's arrival, serve hits locally, fetch misses.
+// past the query's arrival, serve hits locally, fetch misses. With a
+// deadline configured, an unanswered query is abandoned when it expires
+// and counted as a timeout instead; without one, no deadline event is
+// ever scheduled and the legacy wait-forever behaviour is bit-identical.
 func (c *Client) answer(p *sim.Proc, tq sim.Time) {
-	for c.st.Tlb <= tq {
+	c.queryOpen = true
+	c.QueriesIssued++
+	expired := false
+	var deadline *sim.Event
+	if c.cfg.QueryDeadline > 0 {
+		deadline = c.k.Schedule(c.cfg.QueryDeadline, func() {
+			expired = true
+			c.validated.Broadcast()
+			c.fetchSig.Broadcast()
+		})
+	}
+	for c.st.Tlb <= tq && !expired {
 		p.Wait(c.validated)
+	}
+	if expired {
+		c.giveUp(p, tq, true)
+		return
 	}
 	c.missIDs = c.missIDs[:0]
 	for _, id := range c.queryIDs {
@@ -438,11 +494,29 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 				c.fetchWant[id] = true
 			}
 		}
-		c.sendFetch(0)
-		for c.pending > 0 {
+		if !c.sendFetch(0) && !c.cfg.Retry.Enabled() {
+			// The bounded uplink tail-dropped the only fetch request this
+			// query will ever send: nothing can arrive, so give up now
+			// rather than burn the deadline waiting for it.
+			c.k.Cancel(deadline)
+			c.abandonFetch()
+			c.QueriesShed++
+			c.queryOpen = false
+			c.cfg.Metrics.queryShed()
+			c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.QueryShed,
+				Client: c.cfg.ID, B: int64(len(c.missIDs))})
+			return
+		}
+		for c.pending > 0 && !expired {
 			p.Wait(c.fetchSig)
 		}
+		if c.pending > 0 {
+			c.giveUp(p, tq, false)
+			return
+		}
 	}
+	c.k.Cancel(deadline)
+	c.queryOpen = false
 	c.QueriesAnswered++
 	c.RespTime.Observe(p.Now() - tq)
 	c.cfg.Metrics.queryDone(p.Now() - tq)
@@ -453,25 +527,56 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 		Client: c.cfg.ID, B: int64((p.Now() - tq) * 1e6)})
 }
 
+// giveUp abandons the current query after its deadline expired. Any
+// half-open validation exchange is dropped through the sequence-number
+// guard (validating == true: the next broadcast report regenerates it),
+// the fetch generation is cancelled so late deliveries only refresh the
+// cache, and the query is accounted as timed out.
+func (c *Client) giveUp(p *sim.Proc, tq sim.Time, validating bool) {
+	if validating {
+		c.st.AbandonPending()
+	}
+	c.abandonFetch()
+	c.QueriesTimedOut++
+	c.queryOpen = false
+	c.cfg.Metrics.deadlineMiss()
+	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.QueryDeadline,
+		Client: c.cfg.ID, B: int64((p.Now() - tq) * 1e6)})
+}
+
+// abandonFetch cancels the outstanding fetch generation: pending retry
+// timers see a newer sequence and no-op, and late item deliveries fall
+// through to a plain cache refresh.
+func (c *Client) abandonFetch() {
+	c.fetchSeq++
+	c.pending = 0
+	clear(c.fetchWant)
+}
+
 // sendFetch transmits a data request for the current fetch's missing
 // items (all of them on attempt 0, the still-undelivered subset on a
 // retry) and, in retry mode, arms a backed-off re-request timer. The
 // request or any item can be destroyed by channel faults or a crashed
 // server; duplicates from overlapping requests are deduplicated against
 // the want-list in DeliverItem.
-func (c *Client) sendFetch(attempt int) {
+// It reports whether the request was admitted by the (possibly bounded)
+// uplink; in retry mode the backed-off re-request timer is armed either
+// way, so a shed request is simply re-issued later.
+func (c *Client) sendFetch(attempt int) bool {
 	ids := make([]int32, 0, len(c.fetchIDs))
 	for _, id := range c.fetchIDs {
 		if attempt == 0 || c.fetchWant[id] {
 			ids = append(ids, id)
 		}
 	}
-	c.FetchUplinkBits += c.cfg.FetchRequestBits
-	c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
+	admitted := c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
 		c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
 	})
+	if admitted {
+		c.FetchUplinkBits += c.cfg.FetchRequestBits
+	}
 	if !c.cfg.Retry.Enabled() {
-		return
+		return admitted
 	}
 	seq := c.fetchSeq
 	c.k.Schedule(c.cfg.Retry.Delay(attempt, c.src), func() {
@@ -483,12 +588,19 @@ func (c *Client) sendFetch(attempt int) {
 			Client: c.cfg.ID, A: 0, B: int64(attempt + 1)})
 		c.sendFetch(attempt + 1)
 	})
+	return admitted
 }
 
 // ResetStats zeroes the client's measurement counters (warmup boundary);
 // protocol and cache state are untouched.
 func (c *Client) ResetStats() {
+	// A query straddling the warmup boundary stays issued so the
+	// accounting identity holds over the measured interval.
+	c.QueriesIssued = c.InFlight()
 	c.QueriesAnswered = 0
+	c.QueriesTimedOut = 0
+	c.QueriesShed = 0
+	c.BusyHeard = 0
 	c.ItemsRequested = 0
 	c.ItemsFromCache = 0
 	c.RespTime = stats.Tally{}

@@ -23,6 +23,25 @@ type Metrics struct {
 	Disconnects *metrics.Counter
 	Salvages    *metrics.Counter
 	Drops       *metrics.Counter
+	// DeadlineMisses counts queries abandoned at their deadline;
+	// QueriesShed counts queries abandoned immediately because the
+	// bounded uplink tail-dropped their only fetch request.
+	DeadlineMisses *metrics.Counter
+	QueriesShed    *metrics.Counter
+}
+
+func (m *Metrics) deadlineMiss() {
+	if m == nil {
+		return
+	}
+	m.DeadlineMisses.Inc()
+}
+
+func (m *Metrics) queryShed() {
+	if m == nil {
+		return
+	}
+	m.QueriesShed.Inc()
 }
 
 func (m *Metrics) queryDone(resp float64) {

@@ -14,6 +14,7 @@ import (
 	"mobicache/internal/faults"
 	"mobicache/internal/metrics"
 	"mobicache/internal/netsim"
+	"mobicache/internal/overload"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
@@ -106,6 +107,14 @@ type Config struct {
 	// randomness, keeping seeded results bit-identical to fault-free
 	// builds.
 	Faults faults.Config
+	// Overload configures the graceful-degradation layer: bounded channel
+	// queues, client query deadlines, and server admission control with
+	// request coalescing. The zero value disables everything — no events,
+	// no randomness, results bit-identical to builds without the layer
+	// (pinned by TestOverloadFreeResultsUnchanged). Bounded queues or
+	// admission control require a recovery path (Overload.QueryDeadline or
+	// Faults.Retry); Validate enforces it.
+	Overload overload.Config
 }
 
 // Default returns Table 1's settings with the UNIFORM workload: 100
@@ -171,6 +180,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: workload not set")
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Overload.Validate(c.Faults.Retry.Enabled()); err != nil {
 		return err
 	}
 	if _, err := core.Lookup(c.Scheme); err != nil {
@@ -244,6 +256,27 @@ type Results struct {
 	// crash instant to first post-restart report broadcast.
 	MeanRecoveryLatency float64
 
+	// Overload and degradation. The accounting identity
+	//   QueriesIssued == QueriesAnswered + QueriesTimedOut + QueriesShed
+	//                    + QueriesInFlight
+	// holds exactly: every issued query is answered, abandoned at its
+	// deadline, shed outright (its only fetch tail-dropped with no retry
+	// policy), or still open at the horizon. The peak-queue fields report
+	// the bounded-population high-water marks and are meaningful only when
+	// the corresponding queue cap is set (always 0 otherwise).
+	QueriesIssued    int64
+	QueriesTimedOut  int64
+	QueriesShed      int64
+	QueriesInFlight  int64
+	BusyHeard        int64 // admission-control rejections clients heard
+	UpShedMsgs       int64 // uplink messages tail-dropped at admission
+	DownShedMsgs     int64 // downlink messages tail-dropped at admission
+	UpPeakQueue      int   // bounded uplink waiting-population high-water mark
+	DownPeakQueue    int   // bounded downlink waiting-population high-water mark
+	CoalescedFetches int64 // fetches merged into one downlink transmission
+	BusyReplies      int64 // fetches the server rejected as busy
+	RepliesShed      int64 // server replies tail-dropped by a bounded downlink
+
 	// Client behaviour.
 	ReportsLost               int64
 	MeanResponse, MaxResponse float64
@@ -311,7 +344,28 @@ func Run(c Config) (*Results, error) {
 		CrashMTBF:              c.Faults.CrashMTBF,
 		CrashMTTR:              c.Faults.CrashMTTR,
 		CrashRNG:               crashRNG,
+		PendingCap:             c.Overload.ServerPendingCap,
+		Coalesce:               c.Overload.Coalesce,
 	}, root.Split(0))
+
+	// Bounded channel queues: deterministic tail-drop at admission,
+	// surfaced as rejections to senders and traced as ChannelShed events.
+	// With the caps at zero nothing below runs and the channels behave
+	// exactly as before.
+	if c.Overload.UpQueueCap > 0 {
+		up.SetQueueCap(c.Overload.UpQueueCap)
+		up.SetShedHook(func(class netsim.Class) {
+			c.Trace.Record(trace.Event{T: k.Now(), Kind: trace.ChannelShed,
+				Client: -1, A: int64(class), B: 1})
+		})
+	}
+	if c.Overload.DownQueueCap > 0 {
+		down.SetQueueCap(c.Overload.DownQueueCap)
+		down.SetShedHook(func(class netsim.Class) {
+			c.Trace.Record(trace.Event{T: k.Now(), Kind: trace.ChannelShed,
+				Client: -1, A: int64(class), B: 0})
+		})
+	}
 
 	res := &Results{
 		Config:      c,
@@ -375,6 +429,7 @@ func Run(c Config) (*Results, error) {
 			ReportLossProb:   c.ReportLossProb,
 			DownLoss:         c.Faults.DownLoss,
 			Retry:            c.Faults.Retry,
+			QueryDeadline:    c.Overload.QueryDeadline,
 		}, root.Split(1000+uint64(i)))
 		clients[i] = cl
 		srv.Attach(cl)
@@ -429,6 +484,11 @@ func Run(c Config) (*Results, error) {
 	var resp stats.Tally
 	for _, cl := range clients {
 		res.QueriesAnswered += cl.QueriesAnswered
+		res.QueriesIssued += cl.QueriesIssued
+		res.QueriesTimedOut += cl.QueriesTimedOut
+		res.QueriesShed += cl.QueriesShed
+		res.QueriesInFlight += cl.InFlight()
+		res.BusyHeard += cl.BusyHeard
 		res.UplinkValidationBits += cl.ValidationUplinkBits
 		res.ValidationUplinkMsgs += cl.ValidationUplinkMsgs
 		res.CacheHits += cl.State().Cache.Hits()
@@ -468,6 +528,13 @@ func Run(c Config) (*Results, error) {
 		res.ReportBits[kind.String()] = bits
 	}
 	res.IROverruns = srv.IROverruns
+	res.CoalescedFetches = srv.CoalescedFetches
+	res.BusyReplies = srv.BusyReplies
+	res.RepliesShed = srv.RepliesShed
+	res.UpShedMsgs = up.TotalShed()
+	res.DownShedMsgs = down.TotalShed()
+	res.UpPeakQueue = up.MaxQueuedLow()
+	res.DownPeakQueue = down.MaxQueuedLow()
 	res.ServerCrashes = srv.Crashes
 	res.ServerDowntime = srv.Downtime
 	if srv.RecoveryLatency.N() > 0 {

@@ -7,12 +7,16 @@ import (
 	"runtime"
 
 	"mobicache/internal/faults"
+	"mobicache/internal/overload"
 	"mobicache/internal/workload"
 )
 
 // ManifestSchemaVersion identifies the manifest layout; bump it whenever
 // a field changes meaning so downstream tooling can refuse stale files.
-const ManifestSchemaVersion = 1
+// Version history: 1 = initial layout; 2 = added the overload block
+// (older manifests decode with a zero Overload, which is exactly the
+// disabled layer, so replay stays faithful).
+const ManifestSchemaVersion = 2
 
 // Manifest is the reproducibility record of one run: every knob needed
 // to re-execute it bit-identically (scheme, workload, seed, all Config
@@ -48,8 +52,9 @@ type Manifest struct {
 	TSBits           int           `json:"ts_bits"`
 	HeaderBits       int           `json:"header_bits"`
 	ConsistencyCheck bool          `json:"consistency_check"`
-	ReportLossProb   float64       `json:"report_loss_prob"`
-	Faults           faults.Config `json:"faults"`
+	ReportLossProb   float64         `json:"report_loss_prob"`
+	Faults           faults.Config   `json:"faults"`
+	Overload         overload.Config `json:"overload"`
 
 	// Result digest: enough to verify that a replay reproduced the run.
 	QueriesAnswered    int64   `json:"queries_answered"`
@@ -97,6 +102,7 @@ func NewManifest(r *Results) *Manifest {
 		ConsistencyCheck:   c.ConsistencyCheck,
 		ReportLossProb:     c.ReportLossProb,
 		Faults:             c.Faults,
+		Overload:           c.Overload,
 		QueriesAnswered:    r.QueriesAnswered,
 		HitRatio:           r.HitRatio,
 		UplinkBitsPerQuery: r.UplinkBitsPerQuery,
@@ -118,8 +124,8 @@ func (m *Manifest) Stamp(wallSec float64) {
 // EngineConfig reconstructs the Config that produced this manifest, so a
 // recorded run can be replayed exactly.
 func (m *Manifest) EngineConfig() (Config, error) {
-	if m.SchemaVersion != ManifestSchemaVersion {
-		return Config{}, fmt.Errorf("engine: manifest schema %d, want %d",
+	if m.SchemaVersion < 1 || m.SchemaVersion > ManifestSchemaVersion {
+		return Config{}, fmt.Errorf("engine: manifest schema %d, want 1..%d",
 			m.SchemaVersion, ManifestSchemaVersion)
 	}
 	wl, err := workload.Parse(m.Workload, m.DBSize)
@@ -151,6 +157,7 @@ func (m *Manifest) EngineConfig() (Config, error) {
 		ConsistencyCheck: m.ConsistencyCheck,
 		ReportLossProb:   m.ReportLossProb,
 		Faults:           m.Faults,
+		Overload:         m.Overload,
 	}, nil
 }
 

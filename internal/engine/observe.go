@@ -33,6 +33,8 @@ func newClientMetrics(reg *metrics.Registry, c Config) *client.Metrics {
 		Disconnects:      reg.Counter("disconnects"),
 		Salvages:         reg.Counter("salvages"),
 		Drops:            reg.Counter("drops"),
+		DeadlineMisses:   reg.Counter("deadline_miss"),
+		QueriesShed:      reg.Counter("queries_shed"),
 	}
 }
 

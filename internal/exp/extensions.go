@@ -5,6 +5,7 @@ import (
 
 	"mobicache/internal/engine"
 	"mobicache/internal/faults"
+	"mobicache/internal/overload"
 	"mobicache/internal/workload"
 )
 
@@ -130,6 +131,49 @@ func chaosCheck(r *engine.Results) error {
 	return nil
 }
 
+// OverloadGuardrails is the degradation layer every ext-overload run
+// carries: bounded channel queues, a deadline of four broadcast periods,
+// and a coalescing pending table sized to the client population.
+func OverloadGuardrails(c *engine.Config) {
+	c.Overload = overload.Config{
+		UpQueueCap:       50,
+		DownQueueCap:     50,
+		QueryDeadline:    4 * c.Period,
+		ServerPendingCap: 64,
+		Coalesce:         true,
+	}
+}
+
+// overloadCheck is the ext-overload acceptance bar, applied to every run
+// at every offered-load multiple: zero stale reads, exact accounting
+// (issued == answered + timed_out + shed + in_flight), queue populations
+// bounded by the configured caps, and no collapse (work still completes
+// at 8x capacity).
+func overloadCheck(r *engine.Results) error {
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("overload: %s served %d stale read(s); first: %v",
+			r.Config.Scheme, r.ConsistencyViolations, r.FirstViolation)
+	}
+	balance := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight
+	if r.QueriesIssued != balance {
+		return fmt.Errorf("overload: %s accounting identity broken: issued=%d != answered=%d + timed_out=%d + shed=%d + in_flight=%d",
+			r.Config.Scheme, r.QueriesIssued, r.QueriesAnswered, r.QueriesTimedOut,
+			r.QueriesShed, r.QueriesInFlight)
+	}
+	if cap := r.Config.Overload.UpQueueCap; r.UpPeakQueue > cap {
+		return fmt.Errorf("overload: %s uplink peak queue %d exceeds cap %d",
+			r.Config.Scheme, r.UpPeakQueue, cap)
+	}
+	if cap := r.Config.Overload.DownQueueCap; r.DownPeakQueue > cap {
+		return fmt.Errorf("overload: %s downlink peak queue %d exceeds cap %d",
+			r.Config.Scheme, r.DownPeakQueue, cap)
+	}
+	if r.QueriesAnswered == 0 {
+		return fmt.Errorf("overload: %s collapsed (nothing answered)", r.Config.Scheme)
+	}
+	return nil
+}
+
 func init() {
 	// Chaos robustness sweep: compound bursty loss + corruption + server
 	// crash/restart, jointly scaled by the chaos level, for all seven
@@ -149,9 +193,35 @@ func init() {
 		},
 		Check: chaosCheck,
 	}
+	// Overload/soak sweep: offered query load at 1x..8x the uplink's
+	// fetch-request capacity, with the full degradation layer on and the
+	// stale-read checker armed. The x axis is the load multiple: think
+	// time is set so the population's aggregate fetch-request demand is x
+	// times what the uplink can carry; disconnection is kept rare so the
+	// query stream dominates. Past saturation the system must shed and
+	// time out deterministically, never queue unboundedly or deadlock.
+	ExtensionSweeps["ext-overload"] = &Sweep{
+		ID: "ext-overload", XLabel: "Offered Load (x uplink capacity)",
+		Xs:      []float64{1, 2, 4, 8},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ConsistencyCheck = true
+			c.ProbDisc = 0.05
+			c.MeanDisc = 400
+			// Aggregate fetch-request demand Clients*ControlMsgBits/think
+			// equals x times UplinkBps at this think time.
+			c.MeanThink = float64(c.Clients) * c.ControlMsgBits / (c.UplinkBps * x)
+			OverloadGuardrails(&c)
+			return c
+		},
+		Check: overloadCheck,
+	}
 	Extensions = append(Extensions,
 		Figure{ID: "ext-chaos-thr", Title: "ROBUSTNESS: throughput vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: Throughput},
 		Figure{ID: "ext-chaos-upl", Title: "ROBUSTNESS: uplink cost vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: UplinkPerQuery},
+		Figure{ID: "ext-overload-thr", Title: "ROBUSTNESS: goodput vs offered load past saturation", Sweep: ExtensionSweeps["ext-overload"], Metric: Throughput},
+		Figure{ID: "ext-overload-upl", Title: "ROBUSTNESS: uplink cost vs offered load past saturation", Sweep: ExtensionSweeps["ext-overload"], Metric: UplinkPerQuery},
 	)
 }
 

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestOverloadSweepConfigsValid(t *testing.T) {
+	sw := ExtensionSweeps["ext-overload"]
+	if sw == nil {
+		t.Fatal("ext-overload sweep not registered")
+	}
+	for _, x := range sw.Xs {
+		c := sw.Configure(x)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("load %vx: %v", x, err)
+		}
+		if !c.Overload.Enabled() {
+			t.Fatalf("load %vx: degradation layer not armed", x)
+		}
+		if !c.ConsistencyCheck {
+			t.Fatalf("load %vx: stale-read checker not armed", x)
+		}
+	}
+	// The think-time mapping must actually hit the offered-load multiple:
+	// aggregate fetch-request demand over the uplink capacity equals x.
+	for _, x := range sw.Xs {
+		c := sw.Configure(x)
+		offered := float64(c.Clients) * c.ControlMsgBits / c.MeanThink / c.UplinkBps
+		if diff := offered - x; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("load %vx maps to offered load %v", x, offered)
+		}
+	}
+}
+
+func TestOverloadSweepAcceptance(t *testing.T) {
+	// The acceptance bar in miniature: offered load at 4x uplink capacity
+	// across all seven schemes. The sweep's own Check enforces zero stale
+	// reads, the exact accounting identity, and the queue bounds on every
+	// run; here we additionally require that saturation really engaged the
+	// degradation machinery.
+	sw := ExtensionSweeps["ext-overload"]
+	orig := sw.Xs
+	sw.Xs = []float64{4}
+	defer func() { sw.Xs = orig }()
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 7 {
+		t.Fatalf("overload sweep covers %d schemes, want all 7", len(res.Schemes))
+	}
+	for _, scheme := range res.Schemes {
+		cell := res.Cells[4][scheme]
+		if cell == nil || len(cell.Runs) == 0 {
+			t.Fatalf("%s: no runs", scheme)
+		}
+		run := cell.Runs[0]
+		shedding := run.QueriesTimedOut + run.QueriesShed + run.UpShedMsgs + run.DownShedMsgs
+		if shedding == 0 {
+			t.Fatalf("%s: 4x load never engaged the degradation layer", scheme)
+		}
+	}
+}
+
+func TestOverloadGracefulDegradation(t *testing.T) {
+	// Goodput past saturation must degrade gracefully, not collapse:
+	// pushing the offered load from 2x to 8x may cost throughput, but the
+	// system must keep a substantial fraction of it. (An unbounded system
+	// would instead build infinite queues; a brittle bounded one would
+	// livelock near zero.)
+	sw := ExtensionSweeps["ext-overload"]
+	orig := sw.Xs
+	sw.Xs = []float64{2, 8}
+	defer func() { sw.Xs = orig }()
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range res.Schemes {
+		at2 := res.Cells[2][scheme].Runs[0].QueriesAnswered
+		at8 := res.Cells[8][scheme].Runs[0].QueriesAnswered
+		if at8*2 < at2 {
+			t.Fatalf("%s: goodput collapsed past saturation: %d at 2x, %d at 8x",
+				scheme, at2, at8)
+		}
+	}
+}
+
+func TestOverloadFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"ext-overload-thr", "ext-overload-upl"} {
+		f, err := ExtensionByID(id)
+		if err != nil || f.Sweep.ID != "ext-overload" {
+			t.Fatalf("%s: %+v %v", id, f, err)
+		}
+	}
+}

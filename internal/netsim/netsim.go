@@ -60,6 +60,18 @@ type Channel struct {
 	bits     [numClasses]float64
 	messages [numClasses]int64
 	lost     [numClasses]int64
+	shed     [numClasses]int64
+
+	// Bounded-queue admission state. queueCap bounds the number of
+	// admitted-and-waiting data/control messages (reports are exempt);
+	// lowWait tracks that population exactly, maxLowWait its high-water
+	// mark. A message preempted out of service keeps its in-service
+	// status for this accounting (preemptive-resume returns it to the
+	// head of service), so lowWait never exceeds queueCap.
+	queueCap   int
+	lowWait    int
+	maxLowWait int
+	onShed     func(class Class)
 
 	ge      *faults.GE
 	onFault func(class Class, v faults.Verdict)
@@ -97,15 +109,47 @@ func (c *Channel) SetFaults(ge *faults.GE, onFault func(class Class, v faults.Ve
 	c.onFault = onFault
 }
 
-// Send queues a message of the given size and class. onDelivered, if not
-// nil, fires when the last bit has been transmitted. The report class
-// preempts in-progress lower-class transmissions (preemptive-resume).
-func (c *Channel) Send(class Class, bits float64, onDelivered func()) {
+// SetQueueCap bounds the number of waiting data and control messages; a
+// send that would exceed the cap is tail-dropped at admission (Send
+// returns false) and counted in the shed statistics. Invalidation
+// reports are exempt — they are the consistency backbone and preempt the
+// channel anyway. 0 restores the unbounded legacy model. Admission is a
+// pure comparison: it consumes no randomness and schedules no events, so
+// an unbounded channel is bit-identical to one built before this knob.
+func (c *Channel) SetQueueCap(n int) {
+	if n < 0 {
+		panic("netsim: negative queue capacity")
+	}
+	c.queueCap = n
+}
+
+// SetShedHook installs an observer invoked for every tail-dropped
+// message, after the shed counter is bumped (the engine traces sheds
+// through it). Pass nil to remove.
+func (c *Channel) SetShedHook(fn func(class Class)) { c.onShed = fn }
+
+// Send queues a message of the given size and class, reporting whether it
+// was admitted. onDelivered, if not nil, fires when the last bit has been
+// transmitted. The report class preempts in-progress lower-class
+// transmissions (preemptive-resume). With a queue capacity set
+// (SetQueueCap), a data or control message arriving while the channel is
+// busy and the cap is full is tail-dropped: Send returns false, nothing
+// is queued or charged to the bit accounting, and the caller must recover
+// (retry later or abandon the exchange). The drop path allocates nothing.
+func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
 	if bits < 0 {
 		panic("netsim: negative message size")
 	}
 	if class < 0 || class >= numClasses {
 		panic("netsim: unknown class")
+	}
+	waits := c.fac.InService() != nil
+	if c.queueCap > 0 && class != ClassReport && waits && c.lowWait >= c.queueCap {
+		c.shed[class]++
+		if c.onShed != nil {
+			c.onShed(class)
+		}
+		return false
 	}
 	c.bits[class] += bits
 	c.messages[class]++
@@ -124,22 +168,64 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) {
 			}
 		}
 	}
-	c.fac.Submit(&sim.FacilityRequest{
+	req := &sim.FacilityRequest{
 		Priority: int(class),
 		Preempt:  class == ClassReport,
 		Duration: bits / c.bw,
 		OnDone:   onDone,
-	})
+	}
+	if c.queueCap > 0 && class != ClassReport && waits {
+		// Track the waiting population exactly: admitted-while-busy
+		// increments, first service start decrements. OnStart fires again
+		// if the message is preempted and later resumed, hence the guard.
+		c.lowWait++
+		if c.lowWait > c.maxLowWait {
+			c.maxLowWait = c.lowWait
+		}
+		started := false
+		req.OnStart = func(sim.Time) {
+			if !started {
+				started = true
+				c.lowWait--
+			}
+		}
+	}
+	c.fac.Submit(req)
+	return true
 }
 
 // ResetStats zeroes the per-class accounting and the underlying facility
-// statistics (measurement warmup). Queued messages remain queued.
+// statistics (measurement warmup). Queued messages remain queued, so the
+// waiting-population high-water mark restarts from the current backlog.
 func (c *Channel) ResetStats() {
 	c.bits = [numClasses]float64{}
 	c.messages = [numClasses]int64{}
 	c.lost = [numClasses]int64{}
+	c.shed = [numClasses]int64{}
+	c.maxLowWait = c.lowWait
 	c.fac.ResetStats()
 }
+
+// Shed reports messages tail-dropped at admission in a class.
+func (c *Channel) Shed(class Class) int64 { return c.shed[class] }
+
+// TotalShed reports tail-dropped messages across all classes.
+func (c *Channel) TotalShed() int64 {
+	t := int64(0)
+	for _, n := range c.shed {
+		t += n
+	}
+	return t
+}
+
+// QueuedLow reports the admitted-and-waiting data/control population the
+// queue cap governs. Always 0 while no cap is set (the accounting only
+// runs on bounded channels).
+func (c *Channel) QueuedLow() int { return c.lowWait }
+
+// MaxQueuedLow reports the high-water mark of QueuedLow since the last
+// ResetStats; on a bounded channel it never exceeds the configured cap.
+func (c *Channel) MaxQueuedLow() int { return c.maxLowWait }
 
 // Lost reports messages destroyed by the installed fault model in a class.
 func (c *Channel) Lost(class Class) int64 { return c.lost[class] }
@@ -163,9 +249,9 @@ func (c *Channel) BusyTime() float64 { return c.fac.BusyNow() }
 // RegisterMetrics registers this channel's timeline columns on reg, all
 // named with the given prefix: per-interval utilization (busy fraction of
 // each sampling interval of the given length), bits accepted, queue
-// depth at the sample instant, and messages destroyed by the fault
-// model. No-op on a nil registry; polling draws no randomness and
-// schedules no events.
+// depth at the sample instant, messages destroyed by the fault model,
+// and messages tail-dropped at admission. No-op on a nil registry;
+// polling draws no randomness and schedules no events.
 func (c *Channel) RegisterMetrics(reg *metrics.Registry, prefix string, interval float64) {
 	if reg == nil {
 		return
@@ -183,6 +269,7 @@ func (c *Channel) RegisterMetrics(reg *metrics.Registry, prefix string, interval
 	reg.DeltaFunc(prefix+"_bits", c.TotalBits)
 	reg.GaugeFunc(prefix+"_queue", func() float64 { return float64(c.QueueLen()) })
 	reg.DeltaFunc(prefix+"_lost", func() float64 { return float64(c.TotalLost()) })
+	reg.DeltaFunc(prefix+"_shed", func() float64 { return float64(c.TotalShed()) })
 }
 
 // Bits reports the total bits accepted for transmission in a class

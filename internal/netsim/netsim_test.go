@@ -192,3 +192,136 @@ func TestPeriodicReportsOnSaturatedChannel(t *testing.T) {
 		}
 	}
 }
+
+// A bounded channel admits up to cap waiting low-class messages; the
+// next one is tail-dropped at admission with no accounting side effects,
+// and the rejection is surfaced to both the sender and the shed hook.
+func TestBoundedChannelTailDrop(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "up", 1000)
+	ch.SetQueueCap(2)
+	var shed []Class
+	ch.SetShedHook(func(c Class) { shed = append(shed, c) })
+
+	if !ch.Send(ClassData, 1000, nil) { // goes straight into service
+		t.Fatal("in-service send rejected")
+	}
+	if !ch.Send(ClassData, 1000, nil) || !ch.Send(ClassControl, 1000, nil) {
+		t.Fatal("send within cap rejected")
+	}
+	bits, msgs := ch.TotalBits(), ch.Messages(ClassData)
+	if ch.Send(ClassData, 1000, nil) {
+		t.Fatal("send beyond cap admitted")
+	}
+	if ch.TotalBits() != bits || ch.Messages(ClassData) != msgs {
+		t.Fatal("tail-dropped message charged to the accounting")
+	}
+	if ch.Shed(ClassData) != 1 || ch.TotalShed() != 1 {
+		t.Fatalf("shed counters: data=%d total=%d", ch.Shed(ClassData), ch.TotalShed())
+	}
+	if len(shed) != 1 || shed[0] != ClassData {
+		t.Fatalf("shed hook saw %v", shed)
+	}
+	if ch.QueuedLow() != 2 || ch.MaxQueuedLow() != 2 {
+		t.Fatalf("waiting population %d/%d, want 2/2", ch.QueuedLow(), ch.MaxQueuedLow())
+	}
+	k.Run(sim.EndOfTime)
+	if ch.QueuedLow() != 0 {
+		t.Fatalf("drained channel still reports %d waiting", ch.QueuedLow())
+	}
+	if ch.Delivered() != 3 {
+		t.Fatalf("delivered %d, want 3", ch.Delivered())
+	}
+}
+
+// Reports are exempt from admission: they are the consistency backbone
+// and preempt the channel, so a full queue never rejects one.
+func TestBoundedChannelReportExempt(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	ch.SetQueueCap(1)
+	delivered := false
+	ch.Send(ClassData, 5000, nil)
+	ch.Send(ClassData, 5000, nil) // fills the cap
+	if !ch.Send(ClassReport, 1000, func() { delivered = true }) {
+		t.Fatal("report rejected by a full bounded queue")
+	}
+	k.Run(sim.EndOfTime)
+	if !delivered {
+		t.Fatal("report not delivered")
+	}
+	if ch.TotalShed() != 0 {
+		t.Fatalf("shed %d on report-only overflow", ch.TotalShed())
+	}
+}
+
+// A report preempting the in-service data message must not open a free
+// queue slot: the preempted message keeps its in-service status for the
+// admission accounting, so the waiting population never exceeds the cap.
+func TestBoundedChannelPreemptionKeepsBound(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "down", 1000)
+	ch.SetQueueCap(2)
+	ch.Send(ClassData, 10000, nil)
+	ch.Send(ClassData, 1000, nil)
+	ch.Send(ClassData, 1000, nil) // cap reached
+	k.Schedule(2, func() {
+		ch.Send(ClassReport, 1000, nil) // preempts the first data message
+		if ch.Send(ClassData, 1000, nil) {
+			t.Error("send admitted while preempted message holds its slot")
+		}
+	})
+	k.Run(sim.EndOfTime)
+	if ch.MaxQueuedLow() != 2 {
+		t.Fatalf("peak waiting population %d, want exactly the cap 2", ch.MaxQueuedLow())
+	}
+	if ch.TotalShed() != 1 {
+		t.Fatalf("shed %d, want 1", ch.TotalShed())
+	}
+}
+
+// Regression (satellite): every channel statistic, including the two
+// queue high-water marks, must reset at the measurement warmup boundary.
+func TestResetStatsClearsHighWaterMarks(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "up", 1000)
+	ch.SetQueueCap(8)
+	for i := 0; i < 6; i++ {
+		ch.Send(ClassData, 1000, nil)
+	}
+	k.Run(2.5) // two delivered, one in flight, three waiting
+	if ch.MaxQueueLen() != 5 || ch.MaxQueuedLow() != 5 {
+		t.Fatalf("pre-reset high-water marks %d/%d, want 5/5",
+			ch.MaxQueueLen(), ch.MaxQueuedLow())
+	}
+	ch.ResetStats()
+	if ch.MaxQueueLen() != 3 || ch.MaxQueuedLow() != 3 {
+		t.Fatalf("post-reset high-water marks %d/%d, want the current backlog 3/3",
+			ch.MaxQueueLen(), ch.MaxQueuedLow())
+	}
+	if ch.TotalShed() != 0 || ch.TotalBits() != 0 {
+		t.Fatalf("reset left shed=%d bits=%v", ch.TotalShed(), ch.TotalBits())
+	}
+}
+
+// The rejection path is pure bookkeeping: no allocation, no event, no
+// randomness — safe to hit millions of times in a saturated run.
+func TestShedPathAllocFree(t *testing.T) {
+	k := sim.New()
+	ch := NewChannel(k, "up", 1000)
+	ch.SetQueueCap(1)
+	ch.SetShedHook(func(Class) {})
+	ch.Send(ClassData, 1000, nil)
+	ch.Send(ClassData, 1000, nil) // cap reached
+	before := k.Pending()
+	if avg := testing.AllocsPerRun(1000, func() {
+		if ch.Send(ClassData, 1000, nil) {
+			t.Fatal("admitted beyond cap")
+		}
+	}); avg != 0 {
+		t.Fatalf("shed path allocates %v per send, want 0", avg)
+	}
+	if k.Pending() != before {
+		t.Fatal("shed path scheduled events")
+	}
+}

@@ -1,0 +1,84 @@
+// Package overload configures the simulator's graceful-degradation layer.
+// The paper's premise is a narrow shared uplink, yet an unbounded queueing
+// model lets offered load past saturation accumulate forever: queries wait
+// arbitrarily long instead of failing, and no scheme ever has to shed
+// work. This package gathers the knobs that make overload a first-class,
+// deterministic behaviour:
+//
+//   - bounded channel queues (netsim tail-drops beyond the cap and
+//     surfaces the rejection to the sender);
+//   - client query deadlines (an unanswered query is abandoned and
+//     counted, never silently retried forever);
+//   - server admission control and request coalescing (a bounded
+//     pending-fetch table that answers ServerBusy beyond its high-water
+//     mark and merges concurrent fetches of one item into a single
+//     downlink transmission).
+//
+// The zero value disables everything: no events are scheduled, no
+// randomness is consumed, and seeded results stay bit-identical to builds
+// without the layer (engine's TestOverloadFreeResultsUnchanged pins this).
+package overload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config gathers the degradation knobs of one simulation run. All fields
+// are deterministic policies — the layer draws no randomness.
+type Config struct {
+	// UpQueueCap and DownQueueCap bound the number of waiting data and
+	// control messages on the uplink and downlink (invalidation reports
+	// are exempt: they are the consistency backbone and preempt anyway).
+	// A send that would exceed the cap is tail-dropped and reported to
+	// the sender as a rejection. 0 = unbounded (the legacy model).
+	UpQueueCap   int
+	DownQueueCap int
+	// QueryDeadline abandons a query that has not been answered within
+	// this many simulated seconds; the client counts it as a timeout,
+	// cancels its outstanding fetch generation, and moves on. 0 = wait
+	// forever (the legacy model).
+	QueryDeadline float64
+	// ServerPendingCap bounds the server's pending-fetch table — the
+	// distinct items with a downlink transmission queued. Fetches beyond
+	// the cap are answered with a deterministic ServerBusy reply instead
+	// of growing the backlog. 0 = unbounded.
+	ServerPendingCap int
+	// Coalesce merges concurrent fetches of the same item id into one
+	// downlink transmission heard by every requester (the downlink is a
+	// broadcast medium), so a hot-spot storm costs O(distinct items)
+	// downlink bits instead of O(requests).
+	Coalesce bool
+}
+
+// Enabled reports whether any part of the degradation layer is active.
+func (c Config) Enabled() bool {
+	return c.UpQueueCap > 0 || c.DownQueueCap > 0 || c.QueryDeadline > 0 ||
+		c.ServerPendingCap > 0 || c.Coalesce
+}
+
+// Validate reports the first invalid field by name. retryEnabled tells it
+// whether the run has an uplink retry policy (faults.RetryPolicy): any
+// knob that can silently discard a request in flight — a bounded queue or
+// the server's admission control — needs a recovery path, either retries
+// (the request is re-issued with backoff) or a query deadline (the client
+// eventually gives up and accounts for it). Without one, a shed message
+// would hang its client forever.
+func (c Config) Validate(retryEnabled bool) error {
+	switch {
+	case c.UpQueueCap < 0:
+		return fmt.Errorf("overload: Overload.UpQueueCap = %d negative", c.UpQueueCap)
+	case c.DownQueueCap < 0:
+		return fmt.Errorf("overload: Overload.DownQueueCap = %d negative", c.DownQueueCap)
+	case c.ServerPendingCap < 0:
+		return fmt.Errorf("overload: Overload.ServerPendingCap = %d negative", c.ServerPendingCap)
+	case c.QueryDeadline < 0 || math.IsNaN(c.QueryDeadline) || math.IsInf(c.QueryDeadline, 0):
+		return fmt.Errorf("overload: Overload.QueryDeadline = %v not a non-negative duration", c.QueryDeadline)
+	}
+	if (c.UpQueueCap > 0 || c.DownQueueCap > 0 || c.ServerPendingCap > 0) &&
+		c.QueryDeadline == 0 && !retryEnabled {
+		return fmt.Errorf("overload: bounded queues and admission control can discard requests; " +
+			"set Overload.QueryDeadline or enable Faults.Retry so clients can recover")
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package overload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	for _, c := range []Config{
+		{UpQueueCap: 1},
+		{DownQueueCap: 1},
+		{QueryDeadline: 0.5},
+		{ServerPendingCap: 1},
+		{Coalesce: true},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("%+v reports disabled", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(false); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	// A cap without any recovery path strands whoever hits it.
+	for _, c := range []Config{
+		{UpQueueCap: 4},
+		{DownQueueCap: 4},
+		{ServerPendingCap: 4},
+	} {
+		if err := c.Validate(false); err == nil || !strings.Contains(err.Error(), "recover") {
+			t.Fatalf("%+v without recovery path: err=%v", c, err)
+		}
+		// Either recovery path legitimizes the cap.
+		if err := c.Validate(true); err != nil {
+			t.Fatalf("%+v with retries rejected: %v", c, err)
+		}
+		c.QueryDeadline = 10
+		if err := c.Validate(false); err != nil {
+			t.Fatalf("%+v with deadline rejected: %v", c, err)
+		}
+	}
+	// Negative knobs are always rejected, naming the field.
+	for field, c := range map[string]Config{
+		"Overload.UpQueueCap":       {UpQueueCap: -1},
+		"Overload.DownQueueCap":     {DownQueueCap: -1},
+		"Overload.QueryDeadline":    {QueryDeadline: -1},
+		"Overload.ServerPendingCap": {ServerPendingCap: -1},
+	} {
+		if err := c.Validate(true); err == nil || !strings.Contains(err.Error(), field) {
+			t.Fatalf("%+v: err=%v, want mention of %s", c, err, field)
+		}
+	}
+}

@@ -33,6 +33,9 @@ type Receiver interface {
 	// DeliverItem hands over one fetched data item with the version and
 	// last-update timestamp it carried when transmission completed.
 	DeliverItem(id int32, version int32, ts float64, now sim.Time)
+	// DeliverBusy hands over the server's admission-control rejection of a
+	// fetch for the given item (Config.PendingCap exceeded).
+	DeliverBusy(id int32, now sim.Time)
 }
 
 // Config carries the server-side parameters.
@@ -64,6 +67,27 @@ type Config struct {
 	CrashMTTR float64
 	// CrashRNG drives crash/repair timing; required when CrashMTBF > 0.
 	CrashRNG *rng.Source
+	// PendingCap bounds the pending-fetch table: the admitted fetch
+	// transmissions queued on the downlink. A fetch arriving beyond the
+	// cap is answered with a deterministic busy reply (DeliverBusy)
+	// instead of growing the backlog. 0 = unbounded. Setting PendingCap
+	// or Coalesce routes fetches through the admission path; with both
+	// zero the legacy one-transmission-per-request path runs untouched.
+	PendingCap int
+	// Coalesce merges concurrent fetches of the same item id into one
+	// downlink transmission whose completion is fanned out to every
+	// requester, so a hot-spot storm costs O(distinct items) downlink
+	// bits instead of O(requests).
+	Coalesce bool
+}
+
+// pendingFetch is one admitted item transmission in the pending table.
+// The epoch stamp keeps the table's population counter exact across
+// server crashes: a crash clears the table (in-memory state loss), and
+// completions from a previous epoch must not decrement the new count.
+type pendingFetch struct {
+	waiters []Receiver
+	epoch   int32
 }
 
 // Server is the mobile support station.
@@ -76,6 +100,15 @@ type Server struct {
 	all  []Receiver
 
 	updRNG *rng.Source
+
+	// Admission-control state (used only when PendingCap or Coalesce is
+	// set): the pending-fetch table keyed by item id, and its population.
+	// pendingN counts admitted transmissions, which can briefly exceed
+	// len(pending) when, without coalescing, a second fetch for an
+	// already-pending item overwrites the map entry (each transmission
+	// still completes and decrements exactly once, epoch-guarded).
+	pending  map[int32]*pendingFetch
+	pendingN int
 
 	// Crash/restart state.
 	isDown     bool
@@ -98,6 +131,9 @@ type Server struct {
 	// the crash instant to the first post-restart report broadcast.
 	RecoveryLatency  stats.Tally
 	DroppedWhileDown int64 // uplink messages that arrived at a dead server
+	CoalescedFetches int64 // fetches merged into an already-pending transmission
+	BusyReplies      int64 // fetches rejected by admission control
+	RepliesShed      int64 // validity/busy replies tail-dropped by a bounded downlink
 
 	// Last-broadcast snapshot, maintained unconditionally (plain
 	// assignments: no allocation, no randomness, no events) so the
@@ -116,6 +152,7 @@ func New(k *sim.Kernel, d *db.Database, down *netsim.Channel, cfg Config, updRNG
 		db:          d,
 		down:        down,
 		rcv:         make(map[int32]Receiver),
+		pending:     make(map[int32]*pendingFetch),
 		updRNG:      updRNG,
 		ReportsSent: make(map[report.Kind]int64),
 		ReportBits:  make(map[report.Kind]float64),
@@ -163,6 +200,9 @@ func (s *Server) ResetStats() {
 	s.Downtime = 0
 	s.RecoveryLatency = stats.Tally{}
 	s.DroppedWhileDown = 0
+	s.CoalescedFetches = 0
+	s.BusyReplies = 0
+	s.RepliesShed = 0
 }
 
 // Start launches the update and broadcast processes, plus the
@@ -208,6 +248,8 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	reg.DeltaFunc("server_crashes", func() float64 { return float64(s.Crashes) })
 	reg.DeltaFunc("checks_served", func() float64 { return float64(s.ChecksServed) })
 	reg.DeltaFunc("items_served", func() float64 { return float64(s.ItemsServed) })
+	reg.DeltaFunc("coalesced", func() float64 { return float64(s.CoalescedFetches) })
+	reg.DeltaFunc("busy_replies", func() float64 { return float64(s.BusyReplies) })
 }
 
 // Epoch reports the current recovery epoch (0 until the first crash).
@@ -230,6 +272,12 @@ func (s *Server) crashLoop(p *sim.Proc) {
 		if cr, ok := s.cfg.Scheme.(core.CrashRecoverable); ok {
 			cr.OnServerCrash()
 		}
+		// The pending-fetch table is in-memory protocol state: a crash
+		// loses it. Transmissions already on the downlink still complete
+		// (the channel is not the server), but their epoch-stamped
+		// completions no longer touch the new epoch's population count.
+		clear(s.pending)
+		s.pendingN = 0
 		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ServerCrash,
 			Client: -1, B: int64(s.epoch)})
 		p.Hold(s.cfg.CrashRNG.Exp(s.cfg.CrashMTTR))
@@ -317,6 +365,7 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 		s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ReportBroadcast,
 			Client: -1, A: int64(kind), B: int64(bits)})
 		s.lastIRDone = t + s.down.TxTime(bits)
+		//lint:allow errcheck-sim the report class is exempt from bounded-queue admission and is never shed
 		s.down.Send(netsim.ClassReport, bits, func() {
 			now := s.k.Now()
 			for _, rc := range s.all {
@@ -351,14 +400,22 @@ func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
 	bits := float64(v.SizeBits(s.cfg.Params.Rep))
 	s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValiditySent,
 		Client: -1, B: int64(bits)})
-	s.down.Send(netsim.ClassControl, bits, func() {
+	if !s.down.Send(netsim.ClassControl, bits, func() {
 		rc.DeliverValidity(v, s.k.Now())
-	})
+	}) {
+		// Tail-dropped by a bounded downlink: the client's control timeout
+		// or query deadline abandons the exchange and the next broadcast
+		// report regenerates it.
+		s.RepliesShed++
+	}
 }
 
 // OnFetch is the uplink endpoint for data requests: it queues one
 // downlink transmission per requested item. Item payloads are stamped
-// with the version current when their transmission completes.
+// with the version current when their transmission completes. With
+// admission control or coalescing configured, requests route through the
+// pending-fetch table instead (admitFetch); otherwise this legacy path
+// runs byte-for-byte as before.
 func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
 	if s.isDown {
 		s.DroppedWhileDown++
@@ -370,13 +427,86 @@ func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
 	}
 	for _, id := range ids {
 		id := id
-		s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
+		if s.cfg.PendingCap > 0 || s.cfg.Coalesce {
+			s.admitFetch(rc, id, now)
+			continue
+		}
+		if !s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
 			s.ItemsServed++
 			ts := s.db.LastUpdate(id)
 			if ts < 0 {
 				ts = 0 // never updated: the initial version, valid forever
 			}
 			rc.DeliverItem(id, s.db.Version(id), ts, s.k.Now())
-		})
+		}) {
+			// Tail-dropped by a bounded downlink; the client's backed-off
+			// re-request or query deadline recovers.
+			continue
+		}
+	}
+}
+
+// admitFetch routes one requested item through the pending-fetch table:
+// coalesce onto an already-pending transmission of the same item, reject
+// with a busy reply beyond the high-water mark, or admit a new downlink
+// transmission whose completion is fanned out to every coalesced waiter.
+func (s *Server) admitFetch(rc Receiver, id int32, now sim.Time) {
+	if p, ok := s.pending[id]; ok && s.cfg.Coalesce {
+		p.waiters = append(p.waiters, rc)
+		s.CoalescedFetches++
+		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.Coalesced,
+			Client: rc.ID(), A: int64(id)})
+		return
+	}
+	if s.cfg.PendingCap > 0 && s.pendingN >= s.cfg.PendingCap {
+		s.busyReply(rc, id, now)
+		return
+	}
+	p := &pendingFetch{waiters: []Receiver{rc}, epoch: s.epoch}
+	s.pending[id] = p
+	s.pendingN++
+	if !s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
+		// Identity- and epoch-guarded teardown: a later fetch of the same
+		// id (no coalescing) or a crash may have replaced or cleared the
+		// entry, and post-crash completions must not decrement the new
+		// epoch's population.
+		if s.pending[id] == p {
+			delete(s.pending, id)
+		}
+		if p.epoch == s.epoch {
+			s.pendingN--
+		}
+		s.ItemsServed++
+		ts := s.db.LastUpdate(id)
+		if ts < 0 {
+			ts = 0 // never updated: the initial version, valid forever
+		}
+		ver := s.db.Version(id)
+		done := s.k.Now()
+		for _, w := range p.waiters {
+			w.DeliverItem(id, ver, ts, done)
+		}
+	}) {
+		// Tail-dropped by a bounded downlink: undo the admission. The
+		// requester's retry or deadline recovers.
+		if s.pending[id] == p {
+			delete(s.pending, id)
+		}
+		s.pendingN--
+	}
+}
+
+// busyReply answers a fetch rejected by admission control with a
+// deterministic header-sized control message so the client learns
+// immediately instead of timing out blind.
+func (s *Server) busyReply(rc Receiver, id int32, now sim.Time) {
+	s.BusyReplies++
+	s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ServerBusy,
+		Client: rc.ID(), A: int64(id)})
+	bits := float64(s.cfg.Params.Rep.HeaderBits)
+	if !s.down.Send(netsim.ClassControl, bits, func() {
+		rc.DeliverBusy(id, s.k.Now())
+	}) {
+		s.RepliesShed++
 	}
 }

@@ -24,6 +24,7 @@ type fakeReceiver struct {
 	items      []int32
 	itemTS     []float64
 	itemVer    []int32
+	busy       []int32
 }
 
 func (f *fakeReceiver) ID() int32       { return f.id }
@@ -39,6 +40,9 @@ func (f *fakeReceiver) DeliverItem(id int32, version int32, ts float64, now sim.
 	f.items = append(f.items, id)
 	f.itemVer = append(f.itemVer, version)
 	f.itemTS = append(f.itemTS, ts)
+}
+func (f *fakeReceiver) DeliverBusy(id int32, now sim.Time) {
+	f.busy = append(f.busy, id)
 }
 
 func newTestServer(t *testing.T, schemeName string, downBps float64) (*sim.Kernel, *Server, *db.Database) {

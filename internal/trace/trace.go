@@ -56,6 +56,24 @@ const (
 	// RetryAttempt: a client timed out an uplink exchange. A = exchange
 	// (0 fetch, 1 check, 2 feedback), B = attempt number (1 = first retry).
 	RetryAttempt
+	// QueryShed: a client abandoned a query outright because the bounded
+	// uplink tail-dropped the only fetch request the query would ever
+	// send (no retry policy to re-issue it). B = missing item count.
+	QueryShed
+	// QueryDeadline: a query exceeded its deadline and was abandoned;
+	// the client counts it as a timeout. B = elapsed microseconds.
+	QueryDeadline
+	// Coalesced: the server merged a fetch into an already-pending
+	// downlink transmission of the same item. Client = requester,
+	// A = item id.
+	Coalesced
+	// ServerBusy: the server's admission control rejected a fetch beyond
+	// the pending-table high-water mark. Client = requester, A = item id.
+	ServerBusy
+	// ChannelShed: a bounded channel queue tail-dropped a message at
+	// admission. Client = -1, A = traffic class (netsim.Class), B = 0
+	// for the downlink, 1 for the uplink.
+	ChannelShed
 	numKinds
 )
 
@@ -94,6 +112,16 @@ func (k Kind) String() string {
 		return "server-restart"
 	case RetryAttempt:
 		return "retry-attempt"
+	case QueryShed:
+		return "query-shed"
+	case QueryDeadline:
+		return "query-deadline"
+	case Coalesced:
+		return "coalesced"
+	case ServerBusy:
+		return "server-busy"
+	case ChannelShed:
+		return "channel-shed"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzWorkloadParse checks the manifest round-trip contract on arbitrary
+// input: Parse either rejects a name, or accepts it and produces a
+// workload whose canonical Name feeds back through Parse to the very same
+// canonical Name. A run manifest records Workload.Name, so any accepted
+// spelling that failed to round-trip would make a recorded run
+// unreplayable.
+func FuzzWorkloadParse(f *testing.F) {
+	for _, seed := range []string{
+		"uniform", "UNIFORM", "hotcold", "HOTCOLD",
+		"zipf:0.8", "ZIPF-0.80", "zipf:2", "zipf:0.004",
+		"zipf:-1", "zipf:nan", "zipf:+inf", "zipf:1e309", "zipf:",
+		"", "bogus", "zipf:0x1p-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		w, err := Parse(name, 1000)
+		if err != nil {
+			return // rejection is always fine; the property is about acceptances
+		}
+		if w.Query == nil || w.Update == nil || w.QueryItems == nil || w.UpdateItems == nil {
+			t.Fatalf("Parse(%q) accepted but built an incomplete workload: %+v", name, w)
+		}
+		if z, ok := w.Query.(ZipfAccess); ok {
+			th := z.Z.Theta()
+			if math.IsNaN(th) || math.IsInf(th, 0) || th <= 0 {
+				t.Fatalf("Parse(%q) accepted unusable zipf theta %v", name, th)
+			}
+		}
+		again, err := Parse(w.Name, 1000)
+		if err != nil {
+			t.Fatalf("Parse(%q) -> Name %q does not re-parse: %v", name, w.Name, err)
+		}
+		if again.Name != w.Name {
+			t.Fatalf("Parse(%q): Name %q re-parses to %q, round-trip is lossy",
+				name, w.Name, again.Name)
+		}
+	})
+}

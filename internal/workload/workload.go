@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -171,7 +172,13 @@ func Parse(name string, n int) (Workload, error) {
 		return HotCold(n), nil
 	case strings.HasPrefix(s, "zipf:") || strings.HasPrefix(s, "zipf-"):
 		theta, err := strconv.ParseFloat(s[len("zipf:"):], 64)
-		if err != nil || theta <= 0 {
+		if err == nil {
+			// Quantize to the 0.01 grid the canonical name records
+			// ("ZIPF-%.2f"), so every accepted spelling round-trips
+			// exactly through Workload.Name.
+			theta = math.Round(theta*100) / 100
+		}
+		if err != nil || math.IsNaN(theta) || theta <= 0 || theta > 100 {
 			return Workload{}, fmt.Errorf("workload: bad zipf parameter in %q", name)
 		}
 		return Zipf(n, theta), nil

@@ -28,6 +28,7 @@ import (
 	"mobicache/internal/faults"
 	"mobicache/internal/metrics"
 	"mobicache/internal/multicell"
+	"mobicache/internal/overload"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -82,6 +83,15 @@ type RetryPolicy = faults.RetryPolicy
 // Bernoulli is the degenerate single-state loss model: each message lost
 // independently with probability p (the legacy ReportLossProb behaviour).
 func Bernoulli(p float64) GEParams { return faults.Bernoulli(p) }
+
+// OverloadConfig configures the graceful-degradation layer
+// (Config.Overload): bounded channel queues with deterministic tail-drop,
+// client query deadlines, and server fetch admission control with
+// optional same-item coalescing. The zero value disables every mechanism
+// and keeps seeded results bit-identical to unguarded runs; any queue or
+// pending cap requires a recovery path (a query deadline or an uplink
+// retry policy), which Config.Validate enforces.
+type OverloadConfig = overload.Config
 
 // MetricsRegistry collects named instruments sampled once per broadcast
 // interval into a per-run timeline (Config.Metrics). Sampling rides the
