@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke overload-smoke bench mobilint clean
+.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke overload-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -59,6 +59,22 @@ obs-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Parallel-harness scaling: the sweep benchmark at 1/2/4 workers (compare
+# ns/op across the sub-benchmarks on a multi-core machine) plus the
+# kernel hot-path benchmarks whose allocs/op the freelist keeps at zero.
+par-bench:
+	$(GO) test -bench='BenchmarkSweepParallel|BenchmarkKernel' -benchmem -run='^$$' .
+
+# Coverage gate: full suite with -coverprofile; fails if total statement
+# coverage drops below the floor.
+COVER_FLOOR := 70.0
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 clean:
 	rm -rf bin

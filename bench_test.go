@@ -110,6 +110,41 @@ func BenchmarkBaseConfig(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepParallel measures the experiment harness end to end at
+// 1, 2 and 4 workers over a fixed 16-cell sweep (2 points x 4 schemes x
+// 2 seeds). The cells are independent simulations, so on a multi-core
+// machine the 4-worker variant should run at least ~2x faster than
+// serial; on a single core all three converge. The ns/op ratios prove
+// the scaling — the determinism tests in internal/exp prove the results
+// are bit-identical regardless.
+func BenchmarkSweepParallel(b *testing.B) {
+	sweep := func() *exp.Sweep {
+		return &exp.Sweep{
+			ID: "bench-par", XLabel: "Mean Disconnection Time (s)",
+			Xs: []float64{400, 1200},
+			Configure: func(x float64) engine.Config {
+				c := engine.Default()
+				c.ProbDisc = 0.1
+				c.MeanDisc = x
+				c.BufferPct = 0.01
+				return c
+			},
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh Runner per iteration: RunSweep memoizes, and a
+				// cached result would benchmark a map lookup.
+				r := exp.NewRunner(exp.Options{SimTime: 2000, Seeds: []uint64{1, 2}, Workers: workers})
+				if _, err := r.RunSweep(sweep()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks -----------------------------------------
 
 func makeUpdatedDB(n, updates int) *db.Database {
@@ -197,8 +232,28 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 		}
 	}
 	k.Schedule(1, tick)
+	b.ReportAllocs() // event freelist: steady-state rescheduling is 0 allocs/op
 	b.ResetTimer()
 	k.Run(sim.EndOfTime)
+}
+
+// BenchmarkKernelScheduleCancel churns the schedule/cancel pair that the
+// client's per-query deadline timer exercises on every answered query.
+// The event freelist must make the steady state allocation-free: each
+// Cancel returns the event for the next Schedule to reuse.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := sim.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Cancel(k.Schedule(1, fn))
+	}
+	if testing.AllocsPerRun(100, func() {
+		k.Cancel(k.Schedule(1, fn))
+	}) != 0 {
+		b.Fatal("schedule/cancel churn allocates despite the freelist")
+	}
 }
 
 func BenchmarkKernelProcSwitch(b *testing.B) {
@@ -209,6 +264,7 @@ func BenchmarkKernelProcSwitch(b *testing.B) {
 			p.Hold(1)
 		}
 	})
+	b.ReportAllocs() // cached wake closure: Hold allocates no per-call func
 	b.ResetTimer()
 	k.Run(sim.EndOfTime)
 }

@@ -2,10 +2,13 @@
 // evaluation (§5, Figures 5-16). For each figure it prints the data table
 // the paper plots and writes a CSV under -out.
 //
-// A full reproduction at the paper's 100000-second horizon takes a few
-// minutes on one core:
+// Sweep cells fan out across -workers parallel simulations (default: all
+// CPUs); tables and CSVs are bit-identical at every worker count. A full
+// reproduction at the paper's 100000-second horizon takes a few minutes
+// on one core, and proportionally less with more:
 //
 //	experiments -out results
+//	experiments -workers 1 -out results   # serial reference run
 //
 // A quick pass for smoke-testing the shapes:
 //
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,6 +46,7 @@ func run(args []string) error {
 	figure := fs.String("figure", "", "run a single figure (fig5..fig16 or an extension id); empty runs all paper figures")
 	extensions := fs.Bool("extensions", false, "also run the ablation/extension experiments")
 	seeds := fs.Int("seeds", 1, "replication seeds per point (averaged)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = serial; results are identical at any setting)")
 	plot := fs.Bool("plot", false, "render each figure as an ASCII chart as well")
 	timelines := fs.String("timelines", "", "also write a per-interval metrics timeline CSV for every run into this directory")
 	verbose := fs.Bool("v", false, "print per-run progress")
@@ -63,6 +68,7 @@ func run(args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
 	opts.TimelineDir = *timelines
+	opts.Workers = *workers
 
 	figures := exp.Figures
 	if *extensions {

@@ -9,6 +9,7 @@
 //	mobisim -scheme ts-check -workload hotcold -uplink 200 -check
 //	mobisim -scheme aaw -timeline tl.csv -trace-jsonl ev.jsonl -manifest run.json
 //	mobisim -from-manifest run.json
+//	mobisim -scheme aaw -seeds 8 -workers 4
 package main
 
 import (
@@ -27,6 +28,9 @@ import (
 	"mobicache/internal/engine"
 	"mobicache/internal/metrics"
 	"mobicache/internal/overload"
+	"mobicache/internal/parallel"
+	"mobicache/internal/rng"
+	"mobicache/internal/stats"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -77,6 +81,8 @@ func run(args []string, out *os.File) error {
 	queryDeadline := fs.Float64("query-deadline", 0, "abandon queries unanswered after this many simulated seconds (0 = wait forever)")
 	pendingCap := fs.Int("server-pending-cap", 0, "bound the server's pending-fetch table; excess fetches get a busy reply (0 = unbounded)")
 	coalesce := fs.Bool("coalesce", false, "merge concurrent fetches of one item into a single downlink transmission")
+	seeds := fs.Int("seeds", 1, "replication count; N > 1 runs N seeds derived from -seed and averages them")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers for -seeds > 1 (results are identical at any setting)")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
 	verbose := fs.Bool("v", false, "print the full metric breakdown")
 
@@ -129,6 +135,29 @@ func run(args []string, out *os.File) error {
 		if c.Workload, err = workload.Parse(*wl, c.DBSize); err != nil {
 			return err
 		}
+	}
+
+	if *seeds > 1 {
+		// Replication mode is a batch of independent runs; the per-run
+		// artifact flags have no single run to attach to.
+		incompatible := []struct {
+			name string
+			set  bool
+		}{
+			{"from-manifest", *fromManifest != ""},
+			{"manifest", *manifestOut != ""},
+			{"timeline", *timeline != ""},
+			{"trace", *traceN > 0},
+			{"trace-jsonl", *traceJSONL != ""},
+			{"cpuprofile", *cpuProfile != ""},
+			{"memprofile", *memProfile != ""},
+		}
+		for _, f := range incompatible {
+			if f.set {
+				return fmt.Errorf("-%s cannot be combined with -seeds > 1", f.name)
+			}
+		}
+		return runMulti(out, c, *seeds, *workers, *seed, *jsonOut)
 	}
 
 	// -trace sizes the retained ring (a capacity hint: memory scales with
@@ -339,6 +368,12 @@ type jsonResults struct {
 }
 
 func writeJSON(out *os.File, r *engine.Results) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONResults(r))
+}
+
+func toJSONResults(r *engine.Results) jsonResults {
 	v := jsonResults{
 		Scheme:   r.Config.Scheme,
 		Workload: r.Config.Workload.Name,
@@ -414,9 +449,66 @@ func writeJSON(out *os.File, r *engine.Results) error {
 	if r.FirstViolation != nil {
 		v.FirstViolation = r.FirstViolation.String()
 	}
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
+	return v
+}
+
+// runMulti runs count replications of c, seeding replication i with
+// rng.DeriveSeed(root, i) so each seed depends only on its index, fans
+// them out across workers, and prints per-seed summaries in seed order
+// followed by the cross-seed averages. Output is bit-identical at any
+// worker count. With -json it emits an array of per-seed result objects.
+func runMulti(out *os.File, c engine.Config, count, workers int, root uint64, jsonOut bool) error {
+	results := make([]*engine.Results, count)
+	err := parallel.ForEach(count, workers, func(i int) error {
+		rc := c
+		rc.Seed = rng.DeriveSeed(root, uint64(i))
+		r, err := engine.Run(rc)
+		if err != nil {
+			return fmt.Errorf("replication %d (seed %d): %w", i, rc.Seed, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		vs := make([]jsonResults, count)
+		for i, r := range results {
+			vs[i] = toJSONResults(r)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(vs); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "scheme=%s workload=%s db=%d clients=%d simtime=%g seeds=%d (root %d)\n",
+			c.Scheme, c.Workload.Name, c.DBSize, c.Clients, c.SimTime, count, root)
+		var thr, up, hit, resp stats.Tally
+		for _, r := range results {
+			fmt.Fprintf(out, "seed %-20d answered=%-7d uplink/query=%-9.2f hit=%.4f resp=%.1fs\n",
+				r.Config.Seed, r.QueriesAnswered, r.UplinkBitsPerQuery, r.HitRatio, r.MeanResponse)
+			thr.Observe(float64(r.QueriesAnswered))
+			up.Observe(r.UplinkBitsPerQuery)
+			hit.Observe(r.HitRatio)
+			resp.Observe(r.MeanResponse)
+		}
+		fmt.Fprintf(out, "--- mean over %d seeds ---\n", count)
+		fmt.Fprintf(out, "queries answered:        %.1f (std %.1f)\n", thr.Mean(), thr.Std())
+		fmt.Fprintf(out, "uplink cost per query:   %.2f bits (std %.2f)\n", up.Mean(), up.Std())
+		fmt.Fprintf(out, "cache hit ratio:         %.4f (std %.4f)\n", hit.Mean(), hit.Std())
+		fmt.Fprintf(out, "mean response time:      %.1f s (std %.1f)\n", resp.Mean(), resp.Std())
+	}
+
+	for _, r := range results {
+		if r.ConsistencyViolations > 0 {
+			return fmt.Errorf("seed %d: %d consistency violations; first: %v",
+				r.Config.Seed, r.ConsistencyViolations, r.FirstViolation)
+		}
+	}
+	return nil
 }
 
 func printResults(out *os.File, r *engine.Results, verbose bool) {

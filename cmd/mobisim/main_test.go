@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -81,6 +82,68 @@ func TestRunErrors(t *testing.T) {
 		{"-badflag"},
 	}
 	for _, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunMultiSeed(t *testing.T) {
+	// The multi-seed batch must print one line per derived seed plus the
+	// averaged block, and the output must not depend on the worker count.
+	ref, err := runCapture(t, "-simtime", "1000", "-seeds", "3", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seeds=3", "--- mean over 3 seeds ---", "queries answered:"} {
+		if !strings.Contains(ref, want) {
+			t.Fatalf("output missing %q:\n%s", want, ref)
+		}
+	}
+	if n := strings.Count(ref, "\nseed "); n != 3 {
+		t.Fatalf("want 3 per-seed lines, got %d:\n%s", n, ref)
+	}
+	for _, workers := range []int{2, 8} {
+		out, err := runCapture(t, "-simtime", "1000", "-seeds", "3",
+			"-workers", fmt.Sprint(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != ref {
+			t.Fatalf("workers=%d output differs from serial:\n%s\n---\n%s", workers, out, ref)
+		}
+	}
+}
+
+func TestRunMultiSeedJSON(t *testing.T) {
+	out, err := runCapture(t, "-simtime", "1000", "-seeds", "2", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs []jsonResults
+	if err := json.Unmarshal([]byte(out), &vs); err != nil {
+		t.Fatalf("-seeds -json is not a JSON array: %v\n%s", err, out)
+	}
+	if len(vs) != 2 || vs[0].Seed == vs[1].Seed {
+		t.Fatalf("want 2 distinct-seed results, got %+v", vs)
+	}
+	for _, v := range vs {
+		if v.QueriesAnswered <= 0 {
+			t.Fatalf("implausible replication: %+v", v)
+		}
+	}
+}
+
+func TestRunMultiSeedFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-seeds", "2", "-manifest", filepath.Join(dir, "m.json")},
+		{"-seeds", "2", "-timeline", filepath.Join(dir, "t.csv")},
+		{"-seeds", "2", "-trace", "5"},
+		{"-seeds", "2", "-trace-jsonl", filepath.Join(dir, "e.jsonl")},
+	}
+	for _, args := range cases {
+		args = append(args, "-simtime", "500")
 		if _, err := runCapture(t, args...); err == nil {
 			t.Fatalf("args %v accepted", args)
 		}

@@ -29,6 +29,7 @@ var Restricted = []string{
 	"internal/faults",
 	"internal/metrics",
 	"internal/overload",
+	"internal/parallel",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

@@ -9,6 +9,7 @@ package bitio
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a Reader runs out of bits.
@@ -22,6 +23,32 @@ type Writer struct {
 
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
+
+// writerPool recycles Writers (and, more to the point, their byte
+// buffers) across encode calls. It is shared by all simulations in the
+// process: parallel sweep workers encode reports concurrently, and a
+// per-call allocation here is the kind of GC load that flattens the
+// sweep's scaling curve.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty Writer from the package pool. Pair it with
+// PutWriter when the encoded bytes are no longer referenced. Safe for
+// concurrent use; a Writer's contents never leak between users because
+// every Writer leaves the pool Reset.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the package pool. The caller must not use w, or
+// any slice obtained from w.Bytes, after the call.
+func PutWriter(w *Writer) {
+	if w == nil {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Reset discards all written bits, retaining the allocation.
 func (w *Writer) Reset() {

@@ -127,7 +127,6 @@ type Client struct {
 
 	// Fault-injection state.
 	downGE    *faults.GE     // report reception loss/corruption, nil when clean
-	corruptW  *bitio.Writer  // scratch for surfacing corruption as decode errors
 	fetchSeq  int64          // fetch generations, so stale timeouts no-op
 	fetchIDs  []int32        // ids of the outstanding fetch, request order
 	fetchWant map[int32]bool // ids still undelivered (retry mode only)
@@ -229,10 +228,10 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 			// surfaces as a decode error, then discard the report like a
 			// loss. The error is asserted, not assumed — a nil here means
 			// the codec accepted a mangled frame.
-			if c.corruptW == nil {
-				c.corruptW = bitio.NewWriter()
-			}
-			if err := report.CorruptDecode(r, c.cfg.Params.Rep, c.corruptW); err == nil {
+			w := bitio.GetWriter()
+			err := report.CorruptDecode(r, c.cfg.Params.Rep, w)
+			bitio.PutWriter(w)
+			if err == nil {
 				panic("client: corrupted report decoded cleanly")
 			}
 			c.ReportsCorrupted++
@@ -455,7 +454,7 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 	c.queryOpen = true
 	c.QueriesIssued++
 	expired := false
-	var deadline *sim.Event
+	var deadline sim.Handle
 	if c.cfg.QueryDeadline > 0 {
 		deadline = c.k.Schedule(c.cfg.QueryDeadline, func() {
 			expired = true

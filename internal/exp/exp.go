@@ -14,9 +14,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"mobicache/internal/engine"
 	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
 	"mobicache/internal/stats"
 	"mobicache/internal/workload"
 )
@@ -229,8 +231,18 @@ type Options struct {
 	Seeds []uint64
 	// Schemes overrides the evaluated method set.
 	Schemes []string
-	// Progress, if set, receives one line per completed run.
+	// Progress, if set, receives one line per completed run. Calls are
+	// serialized; with Workers > 1 the line order follows completion
+	// order, not grid order.
 	Progress func(string)
+	// Workers bounds the sweep runner's worker pool. Every (scheme, x,
+	// seed) cell is an independent single-threaded simulation with its
+	// own kernel, RNG streams and (when enabled) metrics registry, so
+	// cells fan out across up to Workers goroutines. 0 means GOMAXPROCS;
+	// 1 runs the cells in grid order on the calling goroutine — the
+	// legacy serial path. Tables, CSVs and manifest digests are
+	// bit-identical at every setting (see DESIGN.md §11).
+	Workers int
 	// TimelineDir, when non-empty, attaches a metrics registry to every
 	// run and writes its per-interval timeline to
 	// <dir>/<sweep>-<scheme>-x<x>-s<seed>.csv.
@@ -272,7 +284,9 @@ type SweepResult struct {
 }
 
 // Runner executes sweeps with memoization so that figure pairs sharing a
-// family run it once.
+// family run it once. The Runner itself is not safe for concurrent use —
+// run figures one at a time; the parallelism lives inside RunSweep, which
+// fans the sweep's cells out across Options.Workers goroutines.
 type Runner struct {
 	Opts Options
 	done map[string]*SweepResult
@@ -283,7 +297,25 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{Opts: opts, done: make(map[string]*SweepResult)}
 }
 
-// RunSweep executes (or returns the memoized) sweep family.
+// cellJob is one simulation of a sweep: a single (x, scheme, seed) cell.
+// The flattened job list enumerates the grid in the serial runner's
+// iteration order, so job index alone determines the cell — workers
+// write into their own slot of the results slice and the aggregation
+// pass below reads them back in grid order, making every aggregate
+// bit-identical to the serial runner no matter how completions interleave.
+type cellJob struct {
+	x      float64
+	scheme string
+	seed   uint64
+}
+
+// RunSweep executes (or returns the memoized) sweep family. Cells run on
+// up to Options.Workers goroutines; each is an isolated simulation (own
+// kernel, own seed-determined RNG streams, own metrics registry when
+// timelines are enabled), so results do not depend on the worker count.
+// The first failing cell — engine error or Check violation — cancels the
+// remaining dispatch, and the lowest-indexed failure is reported, exactly
+// as the serial loop would have.
 func (r *Runner) RunSweep(s *Sweep) (*SweepResult, error) {
 	if res, ok := r.done[s.ID]; ok {
 		return res, nil
@@ -292,47 +324,75 @@ func (r *Runner) RunSweep(s *Sweep) (*SweepResult, error) {
 	if len(schemes) == 0 {
 		schemes = r.Opts.schemes()
 	}
+	seeds := r.Opts.seeds()
+	jobs := make([]cellJob, 0, len(s.Xs)*len(schemes)*len(seeds))
+	for _, x := range s.Xs {
+		for _, scheme := range schemes {
+			for _, seed := range seeds {
+				jobs = append(jobs, cellJob{x: x, scheme: scheme, seed: seed})
+			}
+		}
+	}
+
+	runs := make([]*engine.Results, len(jobs))
+	var progressMu sync.Mutex
+	err := parallel.ForEach(len(jobs), r.Opts.Workers, func(i int) error {
+		j := jobs[i]
+		c := s.Configure(j.x)
+		c.Scheme = j.scheme
+		c.Seed = j.seed
+		if r.Opts.SimTime > 0 {
+			c.SimTime = r.Opts.SimTime
+		}
+		if r.Opts.TimelineDir != "" {
+			c.Metrics = metrics.New()
+		}
+		run, err := engine.Run(c)
+		if err != nil {
+			return fmt.Errorf("sweep %s x=%v scheme=%s: %w", s.ID, j.x, j.scheme, err)
+		}
+		if c.Metrics != nil {
+			if err := writeTimeline(r.Opts.TimelineDir, s.ID, j.scheme, j.x, j.seed, c.Metrics); err != nil {
+				return err
+			}
+		}
+		if s.Check != nil {
+			if err := s.Check(run); err != nil {
+				return fmt.Errorf("sweep %s x=%v scheme=%s seed=%d: %w", s.ID, j.x, j.scheme, j.seed, err)
+			}
+		}
+		runs[i] = run
+		if r.Opts.Progress != nil {
+			progressMu.Lock()
+			r.Opts.Progress(fmt.Sprintf("%s %s=%v %s seed=%d: queries=%d uplink=%.1f b/q",
+				s.ID, s.XLabel, j.x, j.scheme, j.seed, run.QueriesAnswered, run.UplinkBitsPerQuery))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate serially in grid order: seed tallies observe in the same
+	// sequence as the serial runner, so means and CIs match bit for bit.
 	res := &SweepResult{
 		Sweep:   s,
 		Schemes: schemes,
 		Cells:   make(map[float64]map[string]*Cell),
 	}
+	idx := 0
 	for _, x := range s.Xs {
 		res.Cells[x] = make(map[string]*Cell)
-		for _, scheme := range res.Schemes {
+		for _, scheme := range schemes {
 			cell := &Cell{X: x, Scheme: scheme}
 			var thr, upl stats.Tally
-			for _, seed := range r.Opts.seeds() {
-				c := s.Configure(x)
-				c.Scheme = scheme
-				c.Seed = seed
-				if r.Opts.SimTime > 0 {
-					c.SimTime = r.Opts.SimTime
-				}
-				if r.Opts.TimelineDir != "" {
-					c.Metrics = metrics.New()
-				}
-				run, err := engine.Run(c)
-				if err != nil {
-					return nil, fmt.Errorf("sweep %s x=%v scheme=%s: %w", s.ID, x, scheme, err)
-				}
-				if c.Metrics != nil {
-					if err := writeTimeline(r.Opts.TimelineDir, s.ID, scheme, x, seed, c.Metrics); err != nil {
-						return nil, err
-					}
-				}
-				if s.Check != nil {
-					if err := s.Check(run); err != nil {
-						return nil, fmt.Errorf("sweep %s x=%v scheme=%s seed=%d: %w", s.ID, x, scheme, seed, err)
-					}
-				}
+			for range seeds {
+				run := runs[idx]
+				idx++
 				cell.Runs = append(cell.Runs, run)
 				thr.Observe(Throughput.extract(run))
 				upl.Observe(UplinkPerQuery.extract(run))
-				if r.Opts.Progress != nil {
-					r.Opts.Progress(fmt.Sprintf("%s %s=%v %s seed=%d: queries=%d uplink=%.1f b/q",
-						s.ID, s.XLabel, x, scheme, seed, run.QueriesAnswered, run.UplinkBitsPerQuery))
-				}
 			}
 			cell.Throughput = thr.Mean()
 			cell.Uplink = upl.Mean()

@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mobicache/internal/core"
+	"mobicache/internal/engine"
+	"mobicache/internal/faults"
+	"mobicache/internal/overload"
+	"mobicache/internal/rng"
+	"mobicache/internal/workload"
+)
+
+// randomConfig draws one simulation configuration from the property-test
+// distribution: any scheme, random disconnection/update intensity, and —
+// each with its own coin — the overload and fault-injection layers. The
+// draw is a pure function of src, so the whole suite is a fixed grid:
+// failures reproduce from the test's seed constant alone.
+func randomConfig(src *rng.Source) engine.Config {
+	c := engine.Default()
+	names := core.Names()
+	c.Scheme = names[src.Intn(len(names))]
+	c.SimTime = 1500
+	c.ConsistencyCheck = true
+
+	switch src.Intn(3) {
+	case 0:
+		c.Workload = workload.Uniform(c.DBSize)
+	case 1:
+		c.Workload = workload.HotCold(c.DBSize)
+	case 2:
+		c.Workload = workload.Zipf(c.DBSize, 0.5+src.Float64())
+	}
+
+	c.ProbDisc = 0.05 + 0.45*src.Float64()
+	c.MeanDisc = 100 + 1900*src.Float64()
+	c.DiscPerInterval = src.Bool(0.25)
+	c.MeanUpdate = 20 + 180*src.Float64()
+	c.MeanThink = 30 + 120*src.Float64()
+
+	if src.Bool(0.5) { // overload layer on: caps need a recovery path
+		c.Overload = overload.Config{
+			QueryDeadline:    60 + 240*src.Float64(),
+			UpQueueCap:       1 + src.Intn(8),
+			DownQueueCap:     1 + src.Intn(8),
+			ServerPendingCap: src.Intn(12), // 0 = unbounded stays legal
+			Coalesce:         src.Bool(0.5),
+		}
+	}
+	if src.Bool(0.5) { // fault layer on
+		c.Faults.DownLoss = faults.GEParams{
+			PGoodBad: 0.05 + 0.1*src.Float64(),
+			PBadGood: 0.2 + 0.5*src.Float64(),
+			LossGood: 0.02 * src.Float64(),
+			LossBad:  0.2 + 0.5*src.Float64(),
+		}
+		if src.Bool(0.5) {
+			c.Faults.DownLoss.CorruptGood = 0.01 * src.Float64()
+			c.Faults.DownLoss.CorruptBad = 0.1 * src.Float64()
+		}
+		if src.Bool(0.5) { // uplink loss always paired with a retry policy
+			c.Faults.UpLoss = faults.GEParams{
+				PGoodBad: 0.05, PBadGood: 0.5,
+				LossGood: 0.01, LossBad: 0.3,
+			}
+			c.Faults.Retry = faults.RetryPolicy{
+				Timeout: 30 + 60*src.Float64(), Backoff: 2,
+				MaxDelay: 600, Jitter: 0.1 * src.Float64(), MaxAttempts: 6,
+			}
+		}
+		if src.Bool(0.3) {
+			c.Faults.CrashMTBF = 2000 + 4000*src.Float64()
+			c.Faults.CrashMTTR = 20 + 80*src.Float64()
+		}
+	}
+	return c
+}
+
+// describe compresses a config into the line printed on failure, enough
+// to reconstruct the case by eye (the seed reconstructs it exactly).
+func describe(c engine.Config) string {
+	return fmt.Sprintf("scheme=%s wl=%s probdisc=%.2f meandisc=%.0f update=%.0f overload=%v faults=%v crash=%v",
+		c.Scheme, c.Workload.Name, c.ProbDisc, c.MeanDisc, c.MeanUpdate,
+		c.Overload.Enabled(), c.Faults.DownLoss != faults.GEParams{}, c.Faults.CrashMTBF > 0)
+}
+
+// TestSimulationInvariants is the randomized property suite: across a
+// fixed seed grid of configurations spanning all schemes and the
+// disconnection, update, overload and fault knobs, every run must
+// (a) serve zero stale reads, (b) satisfy the query accounting identity
+// issued == answered + timed_out + shed + in_flight, and (c) report no
+// negative counter anywhere in its Results.
+func TestSimulationInvariants(t *testing.T) {
+	const cases = 24
+	gen := rng.New(20260806)
+	for i := 0; i < cases; i++ {
+		c := randomConfig(gen)
+		c.Seed = rng.DeriveSeed(99, uint64(i))
+		r, err := engine.Run(c)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, describe(c), err)
+		}
+		if r.ConsistencyViolations != 0 {
+			t.Errorf("case %d (%s): %d stale reads; first: %v",
+				i, describe(c), r.ConsistencyViolations, r.FirstViolation)
+		}
+		if got := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight; got != r.QueriesIssued {
+			t.Errorf("case %d (%s): accounting identity broken: issued=%d answered=%d + timedout=%d + shed=%d + inflight=%d = %d",
+				i, describe(c), r.QueriesIssued, r.QueriesAnswered,
+				r.QueriesTimedOut, r.QueriesShed, r.QueriesInFlight, got)
+		}
+		checkNonNegative(t, i, describe(c), r)
+	}
+}
+
+// checkNonNegative walks every exported numeric field of Results (and the
+// report count/size maps) and fails on a negative value. Reflection keeps
+// the property total: a counter added to Results later is covered the day
+// it appears.
+func checkNonNegative(t *testing.T, caseNo int, desc string, r *engine.Results) {
+	t.Helper()
+	v := reflect.ValueOf(*r)
+	rt := v.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int64:
+			if fv.Int() < 0 {
+				t.Errorf("case %d (%s): Results.%s = %d < 0", caseNo, desc, f.Name, fv.Int())
+			}
+		case reflect.Uint64:
+			// Unsigned cannot be negative; nothing to check.
+		case reflect.Float64:
+			if fv.Float() < 0 {
+				t.Errorf("case %d (%s): Results.%s = %v < 0", caseNo, desc, f.Name, fv.Float())
+			}
+		case reflect.Map:
+			for _, k := range fv.MapKeys() {
+				mv := fv.MapIndex(k)
+				switch mv.Kind() {
+				case reflect.Int64:
+					if mv.Int() < 0 {
+						t.Errorf("case %d (%s): Results.%s[%v] = %d < 0", caseNo, desc, f.Name, k, mv.Int())
+					}
+				case reflect.Float64:
+					if mv.Float() < 0 {
+						t.Errorf("case %d (%s): Results.%s[%v] = %v < 0", caseNo, desc, f.Name, k, mv.Float())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package parallel is the deterministic fan-out layer of the experiment
+// harness. Every experiment cell — one (scheme, x, seed) simulation — is
+// an independent single-threaded run of the sim kernel, so a sweep is
+// embarrassingly parallel; this package supplies the bounded worker pool
+// that exploits that shape without surrendering reproducibility.
+//
+// Determinism contract: ForEach guarantees nothing about execution order,
+// so callers must make each job a pure function of its index — derive the
+// job's RNG seed from its coordinates (rng.DeriveSeed), give it its own
+// kernel, tracer and metrics registry, and write only to its own slot of
+// a pre-sized results slice. Under that discipline the assembled results
+// are bit-identical for every worker count, including workers=1, which
+// runs the jobs in index order on the caller's goroutine exactly like a
+// plain loop.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and waits for all of them. workers <= 0 means GOMAXPROCS; workers == 1
+// (or n <= 1) runs every job serially on the caller's goroutine.
+//
+// Jobs are claimed in ascending index order. On the first error no new
+// jobs are dispatched; jobs already running are drained, and the error
+// with the smallest job index is returned. Because indices are claimed in
+// order, the smallest failing index is always among the dispatched jobs,
+// so the returned error is exactly the one a serial loop would have
+// stopped at — error behaviour is as deterministic as the jobs themselves.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = ClampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64  // next unclaimed job index
+	var failed atomic.Bool // latched by the first error: stop dispatching
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClampWorkers resolves a requested worker count against the job count:
+// non-positive means GOMAXPROCS, and the pool is never wider than the
+// number of jobs.
+func ClampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	if err := ForEach(0, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("empty job list: err=%v ran=%v", err, ran)
+	}
+	if err := ForEach(-3, 4, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Fatalf("negative job count: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	if err := ForEach(10, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+// TestForEachLowestIndexError: with several failing jobs, the error with
+// the smallest index wins regardless of worker count — the same error a
+// serial loop would stop at.
+func TestForEachLowestIndexError(t *testing.T) {
+	failAt := map[int]bool{37: true, 11: true, 93: true}
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(100, workers, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 11 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 11 failed", workers, err)
+		}
+	}
+}
+
+// TestForEachStopsDispatchOnError: after a failure, far-later jobs are
+// never started (the pool drains instead of plowing through the list).
+func TestForEachStopsDispatchOnError(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(1_000_000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 1000 {
+		t.Fatalf("%d jobs ran after the first error", n)
+	}
+}
+
+func TestForEachSerialStopsAtError(t *testing.T) {
+	var ran int
+	err := ForEach(100, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("serial error path: ran=%d err=%v", ran, err)
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	if got := ClampWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := ClampWorkers(8, 3); got != 3 {
+		t.Fatalf("workers clamped to jobs: %d, want 3", got)
+	}
+	if got := ClampWorkers(-5, 1); got != 1 {
+		t.Fatalf("workers = %d, want 1", got)
+	}
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"testing"
+
+	"mobicache/internal/bitio"
+	"mobicache/internal/bitseq"
+	"mobicache/internal/db"
+)
+
+// TestCodecEdgeRoundTrips drives the report codecs through the payloads
+// the steady-state protocol rarely emits: empty windows, single-entry
+// windows, boundary-equal timestamps (an entry stamped exactly at the
+// broadcast time), and a bit-sequences structure from a never-updated
+// database. Each case must round-trip exactly and hit its analytic wire
+// size (the roundTrip helper asserts both).
+func TestCodecEdgeRoundTrips(t *testing.T) {
+	p := params()
+	emptyDB := db.New(p.N, false)
+	oneDB := db.New(p.N, false)
+	oneDB.Update(42, 100)
+
+	cases := []struct {
+		name  string
+		rep   Report
+		check func(t *testing.T, got Report)
+	}{
+		{
+			name: "ts-empty-window",
+			rep:  &TSReport{T: 500},
+			check: func(t *testing.T, got Report) {
+				r := got.(*TSReport)
+				if r.T != 500 || len(r.Entries) != 0 || r.Dummy != nil {
+					t.Fatalf("got %+v", r)
+				}
+			},
+		},
+		{
+			name: "ts-single-entry-boundary-timestamp",
+			// The entry's timestamp equals the broadcast time: the paper's
+			// window predicate is strict (> T-wL), so boundary equality must
+			// survive the wire bit-for-bit or clients disagree about
+			// membership.
+			rep: &TSReport{T: 500, Entries: []db.UpdateEntry{{ID: 7, TS: 500}}},
+			check: func(t *testing.T, got Report) {
+				r := got.(*TSReport)
+				if len(r.Entries) != 1 || r.Entries[0].ID != 7 || r.Entries[0].TS != 500 {
+					t.Fatalf("got %+v", r)
+				}
+			},
+		},
+		{
+			name: "ts-ext-dummy-at-broadcast-time",
+			rep:  &TSReport{T: 500, Entries: []db.UpdateEntry{{ID: 1, TS: 499}}, Dummy: &DummyRecord{Tlb: 500}},
+			check: func(t *testing.T, got Report) {
+				r := got.(*TSReport)
+				if r.Kind() != KindTSExt || r.Dummy == nil || r.Dummy.Tlb != 500 {
+					t.Fatalf("got %+v dummy %+v", r, r.Dummy)
+				}
+			},
+		},
+		{
+			name: "at-empty",
+			rep:  &ATReport{T: 500},
+			check: func(t *testing.T, got Report) {
+				if r := got.(*ATReport); len(r.IDs) != 0 || r.T != 500 {
+					t.Fatalf("got %+v", r)
+				}
+			},
+		},
+		{
+			name: "bs-empty-structure",
+			rep:  &BSReport{T: 500, S: bitseq.Build(p.N, emptyDB)},
+			check: func(t *testing.T, got Report) {
+				r := got.(*BSReport)
+				if r.S.TS0 != bitseq.Epoch {
+					t.Fatalf("TS0 = %v, want epoch", r.S.TS0)
+				}
+				for i := range r.S.Seqs {
+					if r.S.Seqs[i].Ones != 0 {
+						t.Fatalf("level %d non-empty after round-trip", i)
+					}
+				}
+			},
+		},
+		{
+			name: "bs-single-item",
+			rep:  &BSReport{T: 500, S: bitseq.Build(p.N, oneDB)},
+			check: func(t *testing.T, got Report) {
+				r := got.(*BSReport)
+				if r.S.Seqs[0].Ones != 1 || !r.S.Seqs[0].Get(42) {
+					t.Fatalf("top level %+v, want only bit 42", r.S.Seqs[0])
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, roundTrip(t, p, tc.rep))
+		})
+	}
+}
+
+// TestMaxSizeBSRoundTrip round-trips the largest report the evaluation
+// can produce: a fully saturated bit-sequences structure over the paper's
+// largest database (80000 items, every top-level slot marked). This is
+// the codec's worst case for both wire length and mark density.
+func TestMaxSizeBSRoundTrip(t *testing.T) {
+	const n = 80000
+	d := db.New(n, false)
+	// More distinct updated items than the top level can mark: the
+	// structure saturates and every level timestamp is real.
+	for i := 0; i < n/2+100; i++ {
+		d.Update(int32(i), float64(i+1))
+	}
+	s := bitseq.Build(n, d)
+	if s.Seqs[0].Ones != n/2 {
+		t.Fatalf("top level has %d marks, want saturated %d", s.Seqs[0].Ones, n/2)
+	}
+	p := DefaultParams(n)
+	rep := &BSReport{T: 1e6, S: s}
+	got := roundTrip(t, p, rep).(*BSReport)
+	if got.T != rep.T || got.S.N != n || len(got.S.Seqs) != len(s.Seqs) {
+		t.Fatalf("round-trip shape mismatch: %+v", got)
+	}
+	for l := range s.Seqs {
+		if got.S.Seqs[l].Ones != s.Seqs[l].Ones || got.S.Seqs[l].TS != s.Seqs[l].TS {
+			t.Fatalf("level %d mismatch: got ones=%d ts=%v, want ones=%d ts=%v",
+				l, got.S.Seqs[l].Ones, got.S.Seqs[l].TS, s.Seqs[l].Ones, s.Seqs[l].TS)
+		}
+		for w := range s.Seqs[l].Bits {
+			if got.S.Seqs[l].Bits[w] != s.Seqs[l].Bits[w] {
+				t.Fatalf("level %d word %d differs", l, w)
+			}
+		}
+	}
+	// Truncation of the max-size frame must still fail loudly.
+	w := bitio.NewWriter()
+	if err := CorruptDecode(rep, p, w); err == nil {
+		t.Fatal("truncated max-size BS report decoded cleanly")
+	}
+}

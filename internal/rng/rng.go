@@ -65,6 +65,20 @@ func (s *Source) Split(stream uint64) *Source {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// DeriveSeed maps a (root, stream) pair to a child seed through
+// SplitMix64, the pure-function counterpart of Source.Split. The parallel
+// experiment harness uses it to give every replication a seed that
+// depends only on its coordinates — never on which worker ran it or in
+// what order — so multi-seed sweeps are bit-identical at any worker
+// count. Distinct streams under one root, like one stream under distinct
+// roots, yield well-separated seeds.
+func DeriveSeed(root, stream uint64) uint64 {
+	st := root
+	_ = splitmix64(&st) // decorrelate seeds that differ only in low bits
+	st ^= stream * 0x9e3779b97f4a7c15
+	return splitmix64(&st)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s1*5, 7) * 9

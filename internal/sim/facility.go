@@ -64,7 +64,7 @@ type Facility struct {
 
 	queue    requestHeap
 	cur      *FacilityRequest
-	curDone  *Event
+	curDone  Handle
 	curStart Time
 
 	busy       float64
@@ -169,7 +169,7 @@ func (f *Facility) preemptCurrent() {
 	}
 	f.busy += served
 	f.k.Cancel(f.curDone)
-	f.cur, f.curDone = nil, nil
+	f.cur, f.curDone = nil, Handle{}
 	f.preempted++
 	// Re-queue with the original seq so it stays ahead of anything that
 	// arrived after it within the same priority class.
@@ -193,7 +193,7 @@ func (f *Facility) dispatch() {
 
 func (f *Facility) complete(r *FacilityRequest) {
 	f.busy += f.k.now - f.curStart
-	f.cur, f.curDone = nil, nil
+	f.cur, f.curDone = nil, Handle{}
 	f.served++
 	if r.OnDone != nil {
 		r.OnDone()

@@ -25,22 +25,44 @@ type Time = float64
 // EndOfTime is later than any event the kernel will execute.
 const EndOfTime Time = math.MaxFloat64
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created by Kernel.Schedule and Kernel.At.
-type Event struct {
+// event is a scheduled callback. Fired and cancelled events are recycled
+// through the kernel's freelist, so model code never holds a *event
+// directly; it gets a Handle, whose sequence number detects staleness.
+type event struct {
 	t         Time
 	seq       uint64
 	fn        func()
 	heapIndex int // -1 when not queued
 }
 
-// Cancelled reports whether Cancel removed the event before it fired.
-func (e *Event) Cancelled() bool { return e.fn == nil && e.heapIndex == -1 }
+// Handle refers to a scheduled event and is the argument to Cancel. It is
+// a value type; the zero Handle refers to nothing and is safe to Cancel.
+// A Handle stays valid after its event fires or is cancelled — it merely
+// stops being Scheduled — even though the underlying event struct may be
+// recycled for a later Schedule call: the sequence number in the handle
+// no longer matches the recycled event's, so a stale Cancel is a no-op
+// rather than a hit on an innocent bystander.
+type Handle struct {
+	e   *event
+	seq uint64
+}
 
-// Time reports the simulated time the event is (or was) scheduled for.
-func (e *Event) Time() Time { return e.t }
+// Scheduled reports whether the handle's event is still on the calendar
+// (it has neither fired nor been cancelled).
+func (h Handle) Scheduled() bool {
+	return h.e != nil && h.e.seq == h.seq && h.e.heapIndex >= 0
+}
 
-type eventHeap []*Event
+// Time reports the simulated time the event is scheduled for, or zero if
+// the handle is no longer Scheduled.
+func (h Handle) Time() Time {
+	if !h.Scheduled() {
+		return 0
+	}
+	return h.e.t
+}
+
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -55,7 +77,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].heapIndex = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.heapIndex = len(*h)
 	*h = append(*h, e)
 }
@@ -77,6 +99,11 @@ type Kernel struct {
 	now    Time
 	seq    uint64
 	events eventHeap
+	// free recycles fired and cancelled event structs. Long simulations
+	// schedule hundreds of millions of events; reusing the structs keeps
+	// the scheduling hot path allocation-free in steady state, which is
+	// what makes parallel sweeps scale instead of serialising in the GC.
+	free []*event
 
 	// yield is the handoff channel processes use to return control to the
 	// kernel; see Proc.
@@ -122,7 +149,7 @@ func (k *Kernel) MaxPending() int { return k.maxPending }
 
 // Schedule queues fn to run delay seconds from now and returns a handle
 // that can be cancelled. It panics on a negative delay.
-func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+func (k *Kernel) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -130,7 +157,7 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 }
 
 // At queues fn to run at absolute time t (>= Now) and returns a handle.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, k.now))
 	}
@@ -138,23 +165,34 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 		panic("sim: nil event function")
 	}
 	k.seq++
-	e := &Event{t: t, seq: k.seq, fn: fn}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.t, e.seq, e.fn = t, k.seq, fn
+	} else {
+		e = &event{t: t, seq: k.seq, fn: fn}
+	}
 	heap.Push(&k.events, e)
 	if len(k.events) > k.maxPending {
 		k.maxPending = len(k.events)
 	}
-	return e
+	return Handle{e: e, seq: e.seq}
 }
 
-// Cancel removes e from the calendar if it has not fired. It is safe to
-// cancel an event twice or after it fired; those calls do nothing.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.heapIndex < 0 {
+// Cancel removes the handle's event from the calendar if it has not
+// fired. Cancelling twice, cancelling after the event fired, or
+// cancelling a zero Handle all do nothing.
+func (k *Kernel) Cancel(h Handle) {
+	if !h.Scheduled() {
 		return
 	}
+	e := h.e
 	heap.Remove(&k.events, e.heapIndex)
 	e.fn = nil
 	e.heapIndex = -1
+	k.free = append(k.free, e)
 }
 
 // Step fires the next event, advancing time. It reports false when the
@@ -163,13 +201,16 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*Event)
+	e := heap.Pop(&k.events).(*event)
 	if e.t < k.now {
 		panic("sim: calendar corrupted (time moved backwards)")
 	}
 	k.now = e.t
 	fn := e.fn
 	e.fn = nil
+	// Recycle before running fn: outstanding handles are already stale
+	// (heapIndex is -1, and any reuse bumps seq past theirs).
+	k.free = append(k.free, e)
 	k.executed++
 	fn()
 	return true

@@ -69,22 +69,48 @@ func TestCancel(t *testing.T) {
 	k := New()
 	fired := false
 	e := k.Schedule(5, func() { fired = true })
+	if !e.Scheduled() {
+		t.Fatal("Scheduled() = false before cancel")
+	}
 	k.Cancel(e)
-	k.Cancel(e) // double cancel is a no-op
-	k.Cancel(nil)
+	k.Cancel(e)        // double cancel is a no-op
+	k.Cancel(Handle{}) // zero handle is a no-op
 	k.Run(EndOfTime)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after cancel")
+	if e.Scheduled() {
+		t.Fatal("Scheduled() = true after cancel")
+	}
+}
+
+// TestStaleHandleDoesNotCancelRecycledEvent pins the ABA guard: once an
+// event fires, its struct returns to the freelist and may back a later
+// Schedule call; a Cancel through the old handle must not touch the new
+// occupant.
+func TestStaleHandleDoesNotCancelRecycledEvent(t *testing.T) {
+	k := New()
+	stale := k.Schedule(1, func() {})
+	k.Run(2) // fires; the struct is recycled
+	fired := false
+	fresh := k.Schedule(1, func() { fired = true })
+	k.Cancel(stale) // stale: must be a no-op
+	if !fresh.Scheduled() {
+		t.Fatal("stale Cancel knocked out the recycled event")
+	}
+	k.Run(EndOfTime)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if stale.Scheduled() {
+		t.Fatal("stale handle reports Scheduled")
 	}
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	k := New()
 	var got []int
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, k.Schedule(Time(i), func() { got = append(got, i) }))
@@ -155,6 +181,10 @@ func TestEventTimeAccessor(t *testing.T) {
 	e := k.Schedule(4, func() {})
 	if e.Time() != 4 {
 		t.Fatalf("event time = %v", e.Time())
+	}
+	k.Run(EndOfTime)
+	if e.Time() != 0 {
+		t.Fatalf("fired event time = %v, want 0", e.Time())
 	}
 }
 

@@ -12,6 +12,12 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// wake is the activation closure, built once in Go. Hold, HoldUntil
+	// and Signal wakeups schedule it directly instead of allocating a
+	// fresh closure per suspension — the dominant allocation in a
+	// simulation's steady state, since every think/sleep/service period
+	// of every client passes through here.
+	wake func()
 }
 
 // Name reports the label given to Go, for diagnostics.
@@ -28,6 +34,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // after the currently running event or process section completes.
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.wake = func() { k.activate(p) }
 	k.procs.Add(1)
 	go func() {
 		defer func() {
@@ -47,7 +54,7 @@ func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 		}
 		body(p)
 	}()
-	k.Schedule(0, func() { k.activate(p) })
+	k.Schedule(0, p.wake)
 	return p
 }
 
@@ -76,7 +83,7 @@ func (p *Proc) park() {
 
 // Hold suspends the process for d simulated seconds.
 func (p *Proc) Hold(d Time) {
-	p.k.Schedule(d, func() { p.k.activate(p) })
+	p.k.Schedule(d, p.wake)
 	p.park()
 }
 
@@ -85,7 +92,7 @@ func (p *Proc) HoldUntil(t Time) {
 	if t <= p.k.now {
 		return
 	}
-	p.k.At(t, func() { p.k.activate(p) })
+	p.k.At(t, p.wake)
 	p.park()
 }
 
@@ -113,8 +120,7 @@ func (s *Signal) Waiting() int { return len(s.waiters) }
 // Broadcast wakes every waiter at the current simulated time.
 func (s *Signal) Broadcast() {
 	for _, p := range s.waiters {
-		proc := p
-		s.k.Schedule(0, func() { s.k.activate(proc) })
+		s.k.Schedule(0, p.wake)
 	}
 	s.waiters = s.waiters[:0]
 }
@@ -126,5 +132,5 @@ func (s *Signal) Signal() {
 	}
 	proc := s.waiters[0]
 	s.waiters = s.waiters[1:]
-	s.k.Schedule(0, func() { s.k.activate(proc) })
+	s.k.Schedule(0, proc.wake)
 }
