@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint fuzz-smoke chaos-smoke obs-smoke overload-smoke bench par-bench cover mobilint clean
+.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -21,11 +21,19 @@ race:
 mobilint:
 	$(GO) build -o $(MOBILINT) ./cmd/mobilint
 
-# Stock vet plus the mobilint determinism suite (see DESIGN.md
-# "Determinism contract").
+# Stock vet plus the mobilint contract suite (see DESIGN.md §7, §12)
+# in standalone mode: the checked-in baseline accepts known findings,
+# -strict-allow fails on suppressions or baseline entries that no longer
+# suppress anything, and the JSON report lands in lint-findings.json for
+# CI artifact upload.
 lint: mobilint
 	$(GO) vet ./...
-	$(GO) vet -vettool=$(abspath $(MOBILINT)) ./...
+	$(MOBILINT) -strict-allow -baseline lint.baseline.json -json lint-findings.json ./...
+
+# Regenerate the accepted-findings baseline from the current tree. Review
+# the diff before committing: every new entry is debt you are accepting.
+lint-baseline: mobilint
+	$(MOBILINT) -write-baseline lint.baseline.json ./...
 
 # Short native-fuzz runs: the invalidation-report codec and the workload
 # name parser (manifest round-trip property).

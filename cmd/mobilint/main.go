@@ -1,10 +1,21 @@
 // Command mobilint runs mobicache's custom static analyzers — the
-// simulator determinism contract (see DESIGN.md §"Determinism contract").
+// simulator determinism contract plus the hot-path allocation, seed
+// derivation and parallel sharding contracts (see DESIGN.md §7, §12).
 //
 // Two modes:
 //
-//	mobilint ./...                          # standalone, like a linter
+//	mobilint [flags] ./...                  # standalone, like a linter
 //	go vet -vettool=$(which mobilint) ./... # as a vet tool
+//
+// Standalone flags:
+//
+//	-json file      write a versioned JSON findings report ("-" = stdout)
+//	-sarif file     write a SARIF 2.1.0 log for CI annotation ("-" = stdout)
+//	-baseline file  accept findings listed in the baseline; only fresh
+//	                findings fail the build, expired entries are reported
+//	-write-baseline file  regenerate the baseline from current findings
+//	-strict-allow   fail on //lint:allow comments that suppress nothing
+//	                and on expired baseline entries
 //
 // The vet mode speaks the go command's unitchecker protocol: go vet
 // invokes the tool once per package with a JSON .cfg file naming the
@@ -16,6 +27,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -48,9 +60,6 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
 	os.Exit(standalone(args))
 }
 
@@ -75,45 +84,173 @@ func selfID() string {
 	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }
 
-// standalone loads each package named by patterns from source (imports
-// come from `go list -export` build-cache data) and runs the suite.
-func standalone(patterns []string) int {
+// lintOptions configures one standalone run. Output paths use "" for off
+// and "-" for stdout.
+type lintOptions struct {
+	JSONPath      string
+	SARIFPath     string
+	BaselinePath  string
+	WriteBaseline string
+	StrictAllow   bool
+	Patterns      []string
+}
+
+// standalone parses flags and runs the suite over the named packages.
+func standalone(args []string) int {
+	var opts lintOptions
+	fs := flag.NewFlagSet("mobilint", flag.ContinueOnError)
+	fs.StringVar(&opts.JSONPath, "json", "", "write JSON findings report to `file` (\"-\" for stdout)")
+	fs.StringVar(&opts.SARIFPath, "sarif", "", "write SARIF 2.1.0 log to `file` (\"-\" for stdout)")
+	fs.StringVar(&opts.BaselinePath, "baseline", "", "accept findings listed in baseline `file`")
+	fs.StringVar(&opts.WriteBaseline, "write-baseline", "", "regenerate baseline `file` from current findings and exit")
+	fs.BoolVar(&opts.StrictAllow, "strict-allow", false, "fail on unused //lint:allow comments and expired baseline entries")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts.Patterns = fs.Args()
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	pkgs, err := framework.GoList(wd, patterns)
+	return runLint(wd, opts, os.Stdout, os.Stderr)
+}
+
+// runLint loads each package named by opts.Patterns from source (imports
+// come from `go list -export` build-cache data), runs the full suite, and
+// renders findings in every requested format. Returns the process exit
+// code: 0 clean, 1 on fresh findings (or strict-allow violations), 2 on
+// driver errors.
+func runLint(wd string, opts lintOptions, stdout, stderr io.Writer) int {
+	suite := analyzers.All()
+	pkgs, err := framework.GoList(wd, opts.Patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	loader := framework.NewLoader(wd)
-	exit := 0
+	var (
+		diags  []framework.Diagnostic
+		unused []framework.AllowEntry
+		broken bool
+	)
 	for _, p := range pkgs {
 		importPath, dir := p[0], p[1]
 		pkg, err := loader.LoadPackage(dir, importPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mobilint: %s: %v\n", importPath, err)
-			exit = 1
+			fmt.Fprintf(stderr, "mobilint: %s: %v\n", importPath, err)
+			broken = true
 			continue
 		}
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "mobilint: %v\n", terr)
-			exit = 1
+			fmt.Fprintf(stderr, "mobilint: %v\n", terr)
+			broken = true
 		}
-		diags, err := framework.RunAnalyzers(pkg, analyzers.All())
+		d, u, err := framework.RunSuite(pkg, suite)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mobilint: %s: %v\n", importPath, err)
-			exit = 1
+			fmt.Fprintf(stderr, "mobilint: %s: %v\n", importPath, err)
+			broken = true
 			continue
 		}
-		for _, d := range diags {
-			fmt.Println(d.String())
+		diags = append(diags, d...)
+		unused = append(unused, u...)
+	}
+	if broken {
+		return 2
+	}
+	rel := framework.RelTo(wd)
+
+	if opts.WriteBaseline != "" {
+		b := framework.NewBaseline(diags, rel)
+		if err := b.WriteFile(opts.WriteBaseline); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "mobilint: wrote %s: %d accepted finding(s)\n",
+			opts.WriteBaseline, len(diags))
+		return 0
+	}
+
+	fresh := diags
+	var baselined []framework.Diagnostic
+	var expired []framework.BaselineEntry
+	if opts.BaselinePath != "" {
+		b, err := framework.LoadBaseline(opts.BaselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "mobilint: %v\n", err)
+			return 2
+		}
+		fresh, baselined, expired = b.Apply(diags, rel)
+	}
+
+	// Machine-readable reports carry every finding; the baselined flag
+	// lets CI annotate accepted debt at a lower severity.
+	findings := make([]framework.Finding, 0, len(diags))
+	for _, d := range fresh {
+		findings = append(findings, framework.NewFinding(d, false, rel))
+	}
+	for _, d := range baselined {
+		findings = append(findings, framework.NewFinding(d, true, rel))
+	}
+	if opts.JSONPath != "" {
+		if err := writeReport(opts.JSONPath, stdout, func(w io.Writer) error {
+			return framework.WriteFindingsJSON(w, findings)
+		}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if opts.SARIFPath != "" {
+		if err := writeReport(opts.SARIFPath, stdout, func(w io.Writer) error {
+			return framework.WriteSARIF(w, suite, findings)
+		}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	exit := 0
+	for _, d := range fresh {
+		fmt.Fprintf(stdout, "%s\n", d.String())
+		exit = 1
+	}
+	for _, e := range expired {
+		if opts.StrictAllow {
+			fmt.Fprintf(stdout, "%s: baseline entry matches no finding (fixed? delete it): %s: %s\n",
+				e.File, e.Analyzer, e.Message)
+			exit = 1
+		} else {
+			fmt.Fprintf(stderr, "mobilint: warning: expired baseline entry in %s: %s: %s\n",
+				e.File, e.Analyzer, e.Message)
+		}
+	}
+	if opts.StrictAllow {
+		for _, e := range unused {
+			fmt.Fprintf(stdout, "%s suppresses nothing (stale? delete it)\n", e.String())
 			exit = 1
 		}
 	}
 	return exit
+}
+
+// writeReport renders one machine-readable report to path, with "-"
+// meaning the run's stdout.
+func writeReport(path string, stdout io.Writer, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // vetConfig is the subset of the go command's vet configuration file the

@@ -1,0 +1,140 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineVersion is the schema version of the baseline file format.
+const BaselineVersion = 1
+
+// BaselineEntry records one accepted finding. Entries deliberately omit
+// line and column: a baseline must survive unrelated edits above the
+// finding, so matching is by (analyzer, file, message). Count admits that
+// many identical findings in the file; extra occurrences are fresh.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the invocation dir
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"` // accepted occurrences; 0 means 1
+}
+
+func (e BaselineEntry) key() string { return e.Analyzer + "\x00" + e.File + "\x00" + e.Message }
+
+// Baseline is a checked-in set of accepted findings. A finding matching a
+// baseline entry does not fail the build; a baseline entry matching no
+// current finding has expired and is itself reported (the violation was
+// fixed, so the acceptance is stale and must be deleted, exactly like an
+// unused //lint:allow).
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: passing
+// -baseline means the caller expects the acceptance list to exist.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.Version != BaselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, BaselineVersion)
+	}
+	return &b, nil
+}
+
+// Apply partitions diagnostics against the baseline: fresh findings (not
+// accepted, must fail the build), baselined findings (accepted), and
+// expired entries (accepted findings that no longer occur). rel maps a
+// diagnostic's absolute filename to the baseline's relative form; pass
+// the identity function when filenames are already relative.
+func (b *Baseline) Apply(diags []Diagnostic, rel func(string) string) (fresh, baselined []Diagnostic, expired []BaselineEntry) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[e.key()] += n
+	}
+	matched := make(map[string]int, len(budget))
+	for _, d := range diags {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: rel(d.Pos.Filename), Message: d.Message}.key()
+		if matched[k] < budget[k] {
+			matched[k]++
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, e := range b.Findings {
+		if matched[e.key()] == 0 {
+			expired = append(expired, e)
+		}
+	}
+	return fresh, baselined, expired
+}
+
+// NewBaseline builds a baseline accepting exactly the given diagnostics,
+// with identical findings coalesced into counted entries, sorted for a
+// stable checked-in file.
+func NewBaseline(diags []Diagnostic, rel func(string) string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		counts[BaselineEntry{Analyzer: d.Analyzer, File: rel(d.Pos.Filename), Message: d.Message}]++
+	}
+	b := &Baseline{Version: BaselineVersion, Findings: make([]BaselineEntry, 0, len(counts))}
+	for e, n := range counts {
+		if n > 1 {
+			e.Count = n
+		}
+		//lint:allow maporder the sort below orders by (file, analyzer, message), the full entry key, so iteration order cannot leak
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteFile writes the baseline as indented JSON with a trailing newline.
+func (b *Baseline) WriteFile(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// RelTo returns a filename-relativizer against dir: paths below dir come
+// out slash-separated and dir-relative, anything else is returned as
+// given. Baselines and machine-readable findings use it so checked-in
+// paths are stable across machines.
+func RelTo(dir string) func(string) string {
+	return func(name string) string {
+		r, err := filepath.Rel(dir, name)
+		if err != nil || r == ".." || strings.HasPrefix(r, ".."+string(filepath.Separator)) {
+			return filepath.ToSlash(name)
+		}
+		return filepath.ToSlash(r)
+	}
+}

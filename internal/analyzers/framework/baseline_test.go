@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func ident(name string) string { return name }
+
+// TestBaselineRoundTrip pins the file format: build from diagnostics,
+// write, load back, and get the same acceptance behaviour.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diag("hotalloc", "a.go", 10, "make allocates"),
+		diag("hotalloc", "a.go", 20, "make allocates"), // identical message: coalesces to Count=2
+		diag("seedflow", "b.go", 5, "ad-hoc seed"),
+	}
+	b := NewBaseline(diags, ident)
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d baseline entries, want 2 (identical findings coalesce): %+v", len(b.Findings), b.Findings)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, baselined, expired := loaded.Apply(diags, ident)
+	if len(fresh) != 0 || len(baselined) != 3 || len(expired) != 0 {
+		t.Fatalf("round trip: fresh=%d baselined=%d expired=%d, want 0/3/0", len(fresh), len(baselined), len(expired))
+	}
+}
+
+// TestBaselineMatchIgnoresLines checks that matching is positionless: the
+// same finding on a different line (code moved) still matches, and a
+// third identical occurrence beyond the accepted count is fresh.
+func TestBaselineMatchIgnoresLines(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		diag("hotalloc", "a.go", 10, "make allocates"),
+		diag("hotalloc", "a.go", 20, "make allocates"),
+	}, ident)
+	now := []Diagnostic{
+		diag("hotalloc", "a.go", 100, "make allocates"),
+		diag("hotalloc", "a.go", 200, "make allocates"),
+		diag("hotalloc", "a.go", 300, "make allocates"),
+	}
+	fresh, baselined, expired := b.Apply(now, ident)
+	if len(baselined) != 2 {
+		t.Errorf("got %d baselined, want 2 despite moved lines", len(baselined))
+	}
+	if len(fresh) != 1 || fresh[0].Pos.Line != 300 {
+		t.Errorf("third occurrence past the accepted count must be fresh, got %v", fresh)
+	}
+	if len(expired) != 0 {
+		t.Errorf("unexpected expired entries: %v", expired)
+	}
+}
+
+// TestBaselineExpiry checks that a baseline entry whose finding was fixed
+// is reported as expired — stale acceptances must be deleted, exactly
+// like unused //lint:allow comments under -strict-allow.
+func TestBaselineExpiry(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		diag("hotalloc", "a.go", 10, "make allocates"),
+		diag("seedflow", "b.go", 5, "ad-hoc seed"),
+	}, ident)
+	fresh, baselined, expired := b.Apply([]Diagnostic{
+		diag("hotalloc", "a.go", 10, "make allocates"),
+	}, ident)
+	if len(fresh) != 0 || len(baselined) != 1 {
+		t.Fatalf("fresh=%d baselined=%d, want 0/1", len(fresh), len(baselined))
+	}
+	if len(expired) != 1 || expired[0].Analyzer != "seedflow" {
+		t.Fatalf("want the fixed seedflow entry expired, got %+v", expired)
+	}
+}
+
+// TestBaselineVersionCheck rejects files from a different schema version.
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted an unsupported version")
+	}
+}
+
+// TestRelTo pins the path relativization used for checked-in baselines.
+func TestRelTo(t *testing.T) {
+	rel := RelTo(filepath.Join("/", "repo"))
+	if got := rel(filepath.Join("/", "repo", "internal", "sim", "kernel.go")); got != "internal/sim/kernel.go" {
+		t.Errorf("inside repo: got %q", got)
+	}
+	if got := rel(filepath.Join("/", "elsewhere", "x.go")); got != "/elsewhere/x.go" {
+		t.Errorf("outside repo must stay absolute, got %q", got)
+	}
+}

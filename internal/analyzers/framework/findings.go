@@ -1,0 +1,145 @@
+package framework
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Finding is the machine-readable form of a Diagnostic, as emitted by
+// `mobilint -json` for CI annotation and artifact upload.
+type Finding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"` // slash-separated, relative to the invocation dir
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// NewFinding converts one diagnostic, relativizing its filename with rel.
+func NewFinding(d Diagnostic, baselined bool, rel func(string) string) Finding {
+	return Finding{
+		Analyzer:  d.Analyzer,
+		File:      rel(d.Pos.Filename),
+		Line:      d.Pos.Line,
+		Column:    d.Pos.Column,
+		Message:   d.Message,
+		Baselined: baselined,
+	}
+}
+
+// findingsReport is the top-level JSON document: versioned so CI scripts
+// can detect format changes, findings sorted as RunSuite sorted them.
+type findingsReport struct {
+	Version  int       `json:"version"`
+	Tool     string    `json:"tool"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteFindingsJSON renders findings as the mobilint JSON report.
+func WriteFindingsJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findingsReport{Version: 1, Tool: "mobilint", Findings: findings})
+}
+
+// SARIF 2.1.0 skeleton — only the fields CI annotation consumers
+// (GitHub code scanning et al.) require. Structs rather than nested maps
+// so the output shape is pinned by the driver test.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. Every analyzer in the
+// suite appears as a rule (so suppressed-to-zero runs still advertise
+// what was checked); baselined findings are emitted at level "note",
+// fresh ones at "error".
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	rules := make([]sarifRule, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+	}
+	results := make([]sarifResult, len(findings))
+	for i, f := range findings {
+		level := "error"
+		if f.Baselined {
+			level = "note"
+		}
+		results[i] = sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "mobilint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -55,16 +55,33 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	// allow maps filename -> line -> analyzer names permitted there.
-	allow map[string]map[int]map[string]bool
+	// allow maps filename -> line -> the //lint:allow entries written there.
+	allow map[string]map[int][]*AllowEntry
 	diags *[]Diagnostic
 }
 
-var allowRE = regexp.MustCompile(`^\s*lint:allow\s+([A-Za-z0-9_,-]+)`)
+// AllowEntry is one //lint:allow comment found in a package. Used flips
+// to true when the entry actually suppresses a diagnostic; entries that
+// stay unused are what `mobilint -strict-allow` reports — a suppression
+// whose violation has since been fixed is lint debt that hides future
+// regressions at the same position.
+type AllowEntry struct {
+	Pos       token.Position
+	Analyzers []string // analyzer names listed, possibly the wildcard "all"
+	Reason    string   // free-text justification after the analyzer list
+	Used      bool
+}
+
+// String formats the entry the way the driver prints unused suppressions.
+func (e AllowEntry) String() string {
+	return fmt.Sprintf("%s: //lint:allow %s", e.Pos, strings.Join(e.Analyzers, ","))
+}
+
+var allowRE = regexp.MustCompile(`^\s*lint:allow\s+([A-Za-z0-9_,-]+)\s*(.*)$`)
 
 // buildAllowIndex scans comments for //lint:allow markers.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	idx := make(map[string]map[int]map[string]bool)
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int][]*AllowEntry {
+	idx := make(map[string]map[int][]*AllowEntry)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -77,17 +94,14 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]
 				pos := fset.Position(c.Pos())
 				lines := idx[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int][]*AllowEntry)
 					idx[pos.Filename] = lines
 				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					lines[pos.Line] = names
-				}
+				entry := &AllowEntry{Pos: pos, Reason: strings.TrimSpace(m[2])}
 				for _, name := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(name)] = true
+					entry.Analyzers = append(entry.Analyzers, strings.TrimSpace(name))
 				}
+				lines[pos.Line] = append(lines[pos.Line], entry)
 			}
 		}
 	}
@@ -95,18 +109,25 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[int]
 }
 
 // suppressed reports whether an //lint:allow comment on the diagnostic's
-// line or the line above names this analyzer.
+// line or the line above names this analyzer, marking the matching entry
+// used.
 func (p *Pass) suppressed(pos token.Position) bool {
 	lines := p.allow[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, ln := range []int{pos.Line, pos.Line - 1} {
-		if names := lines[ln]; names != nil && (names[p.Analyzer.Name] || names["all"]) {
-			return true
+		for _, entry := range lines[ln] {
+			for _, name := range entry.Analyzers {
+				if name == p.Analyzer.Name || name == "all" {
+					entry.Used = true
+					hit = true
+				}
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 // Reportf records a diagnostic at pos unless an //lint:allow comment
@@ -133,6 +154,18 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 // RunAnalyzers applies each analyzer to the package and returns the merged
 // diagnostics sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunSuite(pkg, analyzers)
+	return diags, err
+}
+
+// RunSuite applies each analyzer to the package and returns the merged
+// diagnostics sorted by position, plus every //lint:allow comment that
+// suppressed nothing across the whole suite. Unused-allow accounting is
+// only meaningful when the full analyzer set runs: an allow naming an
+// analyzer that was not in the list is reported unused. Allow comments in
+// _test.go files are exempt — the analyzers skip test files, so their
+// suppressions can never fire.
+func RunSuite(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []AllowEntry, error) {
 	var diags []Diagnostic
 	allow := buildAllowIndex(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -146,9 +179,26 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
+	var unused []AllowEntry
+	for _, lines := range allow {
+		for _, entries := range lines {
+			for _, e := range entries {
+				if !e.Used && !strings.HasSuffix(e.Pos.Filename, "_test.go") {
+					unused = append(unused, *e)
+				}
+			}
+		}
+	}
+	sort.Slice(unused, func(i, j int) bool {
+		a, b := unused[i].Pos, unused[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -162,7 +212,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, unused, nil
 }
 
 // PathHasSuffix reports whether import path has the given slash-separated

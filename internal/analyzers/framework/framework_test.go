@@ -2,10 +2,16 @@ package framework
 
 import (
 	"go/ast"
+	"go/parser"
 	"os"
 	"path/filepath"
 	"testing"
 )
+
+// parseInto parses one file into the loader's fileset, comments included.
+func parseInto(l *Loader, path string) (*ast.File, error) {
+	return parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+}
 
 func TestPathHasSuffix(t *testing.T) {
 	cases := []struct {
@@ -75,7 +81,7 @@ func g() {
 			return nil
 		},
 	}
-	diags, err := RunAnalyzers(pkg, []*Analyzer{spy})
+	diags, unused, err := RunSuite(pkg, []*Analyzer{spy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,5 +99,58 @@ func g() {
 		if d.Analyzer != "callspy" {
 			t.Errorf("diagnostic %d attributed to %q", i, d.Analyzer)
 		}
+	}
+	// Exactly one allow suppressed nothing: the wrong-analyzer one on
+	// line 10. The others all fired and must not be reported unused.
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused allows, want 1: %v", len(unused), unused)
+	}
+	if unused[0].Pos.Line != 10 || len(unused[0].Analyzers) != 1 || unused[0].Analyzers[0] != "other" {
+		t.Errorf("unused allow = %+v, want the 'other' entry on line 10", unused[0])
+	}
+	if unused[0].Reason != "wrong analyzer" {
+		t.Errorf("unused allow reason = %q, want %q", unused[0].Reason, "wrong analyzer")
+	}
+}
+
+// TestUnusedAllowSkipsTestFiles: an allow comment in a _test.go file can
+// never fire (analyzers skip test files), so strict-allow accounting must
+// not report it.
+func TestUnusedAllowSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc f() {}\n"
+	testSrc := "package p\n\n//lint:allow callspy never fires in test files\nfunc g() { f() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p_test.go"), []byte(testSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(wd)
+	pkg, err := loader.LoadPackage(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LoadPackage only parses non-test files, so simulate the unitchecker
+	// path where the test file is part of the unit: parse it in.
+	f, err := parseInto(loader, filepath.Join(dir, "p_test.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := loader.CheckFiles("p2", dir, append(pkg.Files, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := &Analyzer{Name: "noop", Doc: "reports nothing", Run: func(*Pass) error { return nil }}
+	_, unused, err := RunSuite(pkg2, []*Analyzer{noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unused) != 0 {
+		t.Fatalf("allow in _test.go reported unused: %v", unused)
 	}
 }

@@ -1,0 +1,103 @@
+// Package hotalloc is the annotation-driven fixture: functions marked
+// //hot must reject allocating constructs; unmarked ones are free.
+package hotalloc
+
+import "fmt"
+
+type item struct{ id int }
+
+type ring struct {
+	buf  []item
+	free []*item
+}
+
+// hot: called once per simulated event.
+//
+//hot
+func (r *ring) push(v item) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array`
+}
+
+//hot
+func (r *ring) pushAllowed(v item) {
+	//lint:allow hotalloc amortized: capacity is retained across resets
+	r.buf = append(r.buf, v)
+}
+
+//hot
+func grab() *item {
+	return new(item) // want `new allocates`
+}
+
+//hot
+func table(n int) []item {
+	return make([]item, n) // want `make allocates`
+}
+
+//hot
+func literal() item {
+	return item{id: 1} // want `composite literal may heap-allocate`
+}
+
+//hot
+func closure(n int) func() int {
+	return func() int { return n } // want `closure creation allocates`
+}
+
+//hot
+func convert(b []byte) string {
+	return string(b) // want `conversion copies its data`
+}
+
+//hot
+func convertBack(s string) []byte {
+	return []byte(s) // want `conversion copies its data`
+}
+
+//hot
+func boxed(v item) {
+	sink(v) // want `non-pointer value boxed into interface parameter`
+}
+
+//hot
+func boxedVariadic(v item) {
+	fmt.Sprint(v) // want `non-pointer value boxed into interface parameter`
+}
+
+//hot
+func pointerNotBoxed(v *item) {
+	sink(v) // pointers share the interface word: no allocation
+}
+
+//hot
+func coldPanic(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("negative delay %v", d)) // panic path is cold: exempt
+	}
+}
+
+//hot
+func reuse(r *ring) *item {
+	if n := len(r.free); n > 0 {
+		v := r.free[n-1]
+		r.free = r.free[:n-1] // reslicing allocates nothing
+		return v
+	}
+	return nil
+}
+
+// not annotated: allocations are fine outside hot paths.
+func coldConstructor(n int) []item {
+	out := make([]item, 0, n)
+	out = append(out, item{id: n})
+	return out
+}
+
+// hotalloc in a comment must not read as a //hot marker.
+//
+//hotalloc-lookalike
+func notHot() []item {
+	return make([]item, 4)
+}
+
+func sink(v any) { _ = v }

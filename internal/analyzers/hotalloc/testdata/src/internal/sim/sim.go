@@ -1,0 +1,34 @@
+// Package sim is a stand-in for mobicache/internal/sim: the known-hot
+// table must cover the kernel contract functions even without a //hot
+// annotation, so that deleting an annotation cannot retire the check.
+package sim
+
+type event struct {
+	t  float64
+	fn func()
+}
+
+type Kernel struct {
+	events []*event
+	free   []*event
+}
+
+// Schedule is in the known hot set: no annotation, still checked.
+func (k *Kernel) Schedule(delay float64, fn func()) {
+	e := &event{t: delay, fn: fn} // want `composite literal may heap-allocate`
+	k.events = append(k.events, e) // want `append may grow its backing array`
+}
+
+// Cancel is in the known hot set; the freelist append carries its
+// amortization rationale.
+func (k *Kernel) Cancel(e *event) {
+	//lint:allow hotalloc freelist growth is amortized; steady state reuses
+	k.free = append(k.free, e)
+}
+
+// Drain is not in the known set and not annotated: free to allocate.
+func (k *Kernel) Drain() []*event {
+	out := make([]*event, len(k.events))
+	copy(out, k.events)
+	return out
+}

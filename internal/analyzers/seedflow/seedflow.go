@@ -1,0 +1,224 @@
+// Package seedflow enforces DESIGN.md §11's seed-derivation contract on
+// the way int64/uint64 seed values reach rng constructors. Parallel
+// sweeps are only bit-reproducible when a cell's RNG stream is a pure
+// function of its coordinates, so a seed must come from configuration
+// (Options.Seeds threaded through Config.Seed) or from rng.DeriveSeed —
+// never from ad-hoc arithmetic (seed+1 style offsets collide and
+// correlate streams; SplitMix64 mixing exists precisely because nearby
+// seeds produce nearby xoshiro states), and never by reusing one
+// *rng.Source across parallel workers (a shared stream sequences draws
+// by completion order, which is exactly the nondeterminism the contract
+// bans).
+//
+// Three rules, checked lexically:
+//
+//  1. rng.New(expr) where expr contains non-constant arithmetic is
+//     flagged everywhere. Derivation must go through a function call
+//     (rng.DeriveSeed) so the mixing is explicit and auditable; the walk
+//     therefore stops at call boundaries.
+//  2. Inside a worker closure passed to parallel.ForEach, rng.New with a
+//     constant seed (every worker draws the same stream) or a seed
+//     mentioning the worker index outside rng.DeriveSeed (raw indices
+//     are correlated seeds) is flagged.
+//  3. Inside a worker closure, any use of a captured rng.Source is
+//     flagged: streams may not cross worker boundaries.
+package seedflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobicache/internal/analyzers/framework"
+)
+
+// Analyzer is the seedflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "seedflow",
+	Doc: "flag rng seeds built by ad-hoc arithmetic, worker seeds not derived " +
+		"via rng.DeriveSeed or config, and rng.Source streams shared across " +
+		"parallel.ForEach workers (DESIGN.md §11 seed-derivation contract)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if lit := forEachWorker(pass, call); lit != nil {
+					checkWorker(pass, lit)
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRNGFunc(pass, call, "New") || len(call.Args) != 1 {
+				return true
+			}
+			checkArithmetic(pass, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// checkArithmetic flags non-constant arithmetic in a seed expression.
+// The walk stops at call boundaries: a function result is an explicit,
+// auditable derivation (rng.DeriveSeed being the sanctioned one).
+func checkArithmetic(pass *framework.Pass, seed ast.Expr) {
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok && n != seed {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || !arithOp(bin.Op) {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[bin]; ok && tv.Value != nil {
+			return false // constant-folded: a literal seed, not derivation
+		}
+		pass.Reportf(bin.Pos(),
+			"seed built by ad-hoc arithmetic reaches rng.New: derive child seeds with rng.DeriveSeed(root, stream) so streams are well-separated")
+		return false
+	})
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+		return true
+	}
+	return false
+}
+
+// checkWorker applies the in-worker rules to one ForEach closure.
+func checkWorker(pass *framework.Pass, lit *ast.FuncLit) {
+	param := indexParam(pass, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRNGFunc(pass, n, "New") && len(n.Args) == 1 {
+				checkWorkerSeed(pass, n.Args[0], param)
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && isSourceVar(obj) && declaredOutside(obj, lit) {
+				pass.Reportf(n.Pos(),
+					"rng.Source %q shared across parallel.ForEach workers: draws would sequence by completion order; give each worker its own stream (rng.New(rng.DeriveSeed(root, index)))", n.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkWorkerSeed flags the two underived-worker-seed shapes: a constant
+// (every worker shares one stream) and a mention of the worker index
+// outside rng.DeriveSeed (raw indices are correlated seeds).
+func checkWorkerSeed(pass *framework.Pass, seed ast.Expr, param types.Object) {
+	if tv, ok := pass.TypesInfo.Types[seed]; ok && tv.Value != nil {
+		pass.Reportf(seed.Pos(),
+			"constant seed inside a parallel.ForEach worker: every worker draws the same stream; derive per-worker seeds with rng.DeriveSeed(root, index)")
+		return
+	}
+	if param == nil {
+		return
+	}
+	flagged := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if flagged {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isRNGFunc(pass, call, "DeriveSeed") {
+			return false // the sanctioned derivation may use the index freely
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == param {
+			flagged = true
+			pass.Reportf(id.Pos(),
+				"worker index reaches rng.New without rng.DeriveSeed: raw indices are correlated seeds; use rng.DeriveSeed(root, uint64(index))")
+			return false
+		}
+		return true
+	})
+}
+
+// forEachWorker returns the worker closure when call is
+// parallel.ForEach(..., func(i int) error {...}).
+func forEachWorker(pass *framework.Pass, call *ast.CallExpr) *ast.FuncLit {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Name() != "ForEach" || fn.Pkg() == nil ||
+		!framework.PathHasSuffix(fn.Pkg().Path(), "internal/parallel") {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// indexParam resolves the closure's first parameter (the worker index).
+func indexParam(pass *framework.Pass, lit *ast.FuncLit) types.Object {
+	if lit.Type.Params == nil || len(lit.Type.Params.List) == 0 {
+		return nil
+	}
+	names := lit.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[names[0]]
+}
+
+// isRNGFunc reports whether call invokes internal/rng's package-level
+// function of the given name.
+func isRNGFunc(pass *framework.Pass, call *ast.CallExpr, name string) bool {
+	fn := calledFunc(pass, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil &&
+		framework.PathHasSuffix(fn.Pkg().Path(), "internal/rng")
+}
+
+// calledFunc resolves the *types.Func a call invokes, nil for builtins,
+// conversions and indirect calls.
+func calledFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isSourceVar reports whether obj is a variable of type rng.Source or
+// *rng.Source.
+func isSourceVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	t := v.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "Source" && tn.Pkg() != nil &&
+		framework.PathHasSuffix(tn.Pkg().Path(), "internal/rng")
+}
+
+// declaredOutside reports whether obj's declaration lies outside lit's
+// source span (i.e. the closure captured it).
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}

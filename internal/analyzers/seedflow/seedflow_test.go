@@ -1,0 +1,17 @@
+package seedflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mobicache/internal/analyzers/framework"
+	"mobicache/internal/analyzers/seedflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	framework.RunTest(t, testdata, seedflow.Analyzer, "seedflow")
+}

@@ -1,0 +1,11 @@
+// Package parallel is a stand-in for mobicache/internal/parallel.
+package parallel
+
+func ForEach(n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package rng is a stand-in for mobicache/internal/rng.
+package rng
+
+type Source struct{ s uint64 }
+
+func New(seed uint64) *Source { return &Source{s: seed} }
+
+func DeriveSeed(root, stream uint64) uint64 { return root ^ stream }
+
+func (s *Source) Uint64() uint64 { s.s++; return s.s }
+
+func (s *Source) Split(stream uint64) *Source { return New(s.s ^ stream) }

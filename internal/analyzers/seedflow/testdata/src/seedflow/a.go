@@ -1,0 +1,109 @@
+// Package seedflow exercises the seed-derivation contract: ad-hoc
+// arithmetic, underived worker seeds, and shared streams are flagged;
+// config-threaded and DeriveSeed-derived seeds are not.
+package seedflow
+
+import (
+	"internal/parallel"
+	"internal/rng"
+)
+
+type config struct{ Seed uint64 }
+
+// --- rule 1: ad-hoc arithmetic anywhere -------------------------------
+
+func arithmeticSeed(seed uint64, i int) *rng.Source {
+	return rng.New(seed + uint64(i)) // want `ad-hoc arithmetic`
+}
+
+func arithmeticOffset(seed uint64) *rng.Source {
+	return rng.New(seed * 31) // want `ad-hoc arithmetic`
+}
+
+func constantSeed() *rng.Source {
+	return rng.New(1 + 2) // constant-folded literal: fine outside workers
+}
+
+func configSeed(c config) *rng.Source {
+	return rng.New(c.Seed) // config-threaded: the sanctioned form
+}
+
+func derivedSeed(root uint64, i int) *rng.Source {
+	return rng.New(rng.DeriveSeed(root, uint64(i))) // sanctioned derivation
+}
+
+func derivedWithCoordinateMath(root uint64, x, s int) *rng.Source {
+	// Arithmetic inside DeriveSeed's arguments builds the stream
+	// coordinate, not the seed: legal.
+	return rng.New(rng.DeriveSeed(root, uint64(x*100+s)))
+}
+
+// --- rule 2: underived seeds inside ForEach workers -------------------
+
+func workerRawIndex(root uint64, out []uint64) error {
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		src := rng.New(uint64(i)) // want `worker index reaches rng.New without rng.DeriveSeed`
+		out[i] = src.Uint64()
+		return nil
+	})
+}
+
+func workerConstantSeed(out []uint64) error {
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		src := rng.New(7) // want `constant seed inside a parallel.ForEach worker`
+		out[i] = src.Uint64()
+		return nil
+	})
+}
+
+func workerDerived(root uint64, out []uint64) error {
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		src := rng.New(rng.DeriveSeed(root, uint64(i))) // the contract's shape
+		out[i] = src.Uint64()
+		return nil
+	})
+}
+
+func workerConfigSeed(cfgs []config, out []uint64) error {
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		c := cfgs[i]
+		src := rng.New(c.Seed) // config-threaded per-cell seed: fine
+		out[i] = src.Uint64()
+		return nil
+	})
+}
+
+// --- rule 3: streams shared across workers ----------------------------
+
+func workerSharedStream(out []uint64) error {
+	shared := rng.New(1)
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		out[i] = shared.Uint64() // want `shared across parallel.ForEach workers`
+		return nil
+	})
+}
+
+func workerSharedSplit(out []*rng.Source) error {
+	root := rng.New(1)
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		out[i] = root.Split(uint64(i)) // want `shared across parallel.ForEach workers`
+		return nil
+	})
+}
+
+func workerLocalStream(out []uint64) error {
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		local := rng.New(rng.DeriveSeed(9, uint64(i)))
+		out[i] = local.Uint64() // worker-local stream: fine
+		return nil
+	})
+}
+
+func workerSuppressed(out []uint64) error {
+	shared := rng.New(1)
+	return parallel.ForEach(len(out), 0, func(i int) error {
+		//lint:allow seedflow single-worker pool in this path, documented
+		out[i] = shared.Uint64()
+		return nil
+	})
+}

@@ -1,0 +1,192 @@
+// Package sharedwrite enforces the own-slot-only write discipline inside
+// worker closures passed to parallel.ForEach. The parallel sweep engine
+// (DESIGN.md §11) keeps results bit-identical at any worker count by
+// making each job a pure function of its index that writes only to its
+// own slot of a pre-sized results slice; a write to any other captured
+// location — a shared counter, a fixed slice slot, a captured map — is a
+// data race whose effect depends on completion order, the exact class of
+// bug that silently un-pins the parallel determinism golden tests.
+//
+// For every function literal handed to parallel.ForEach, the analyzer
+// flags assignments and ++/-- on captured variables (declared outside
+// the closure) unless the target is reached through an index expression
+// that mentions the worker's own index parameter (results[i],
+// grid[base+i].Field, ...). Locals are free; reads are free (the race
+// detector and the seedflow analyzer cover shared RNG state). The check
+// is lexical: mutation through method calls or aliased pointers is out
+// of scope — the race stress tests keep covering those dynamically.
+package sharedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobicache/internal/analyzers/framework"
+)
+
+// Analyzer is the sharedwrite check.
+var Analyzer = &framework.Analyzer{
+	Name: "sharedwrite",
+	Doc: "flag writes to captured variables inside parallel.ForEach worker " +
+		"closures unless the target is indexed by the worker's own index " +
+		"parameter; cross-slot writes break bit-identical parallel sweeps",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lit := forEachWorker(pass, call); lit != nil {
+				checkWorker(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// forEachWorker returns the worker closure when call is
+// parallel.ForEach(..., func(i int) error {...}).
+func forEachWorker(pass *framework.Pass, call *ast.CallExpr) *ast.FuncLit {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Name() != "ForEach" || fn.Pkg() == nil ||
+		!framework.PathHasSuffix(fn.Pkg().Path(), "internal/parallel") {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+func checkWorker(pass *framework.Pass, lit *ast.FuncLit) {
+	var param types.Object
+	if ps := lit.Type.Params; ps != nil && len(ps.List) > 0 && len(ps.List[0].Names) > 0 {
+		param = pass.TypesInfo.Defs[ps.List[0].Names[0]]
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkTarget(pass, lit, param, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(pass, lit, param, n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				checkTarget(pass, lit, param, n.Key)
+				checkTarget(pass, lit, param, n.Value)
+			}
+		}
+		return true
+	})
+}
+
+// checkTarget resolves one write target to its root variable and flags
+// it when the root is captured and no index step mentions the worker's
+// own index parameter.
+func checkTarget(pass *framework.Pass, lit *ast.FuncLit, param types.Object, target ast.Expr) {
+	if target == nil {
+		return
+	}
+	root, ownSlot := resolveTarget(pass, param, target)
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		// A `:=` define introduces a new (local) object via Defs.
+		obj = pass.TypesInfo.Defs[root]
+	}
+	if obj == nil || root.Name == "_" {
+		return
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return // worker-local: declared inside the closure (or its params)
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if ownSlot {
+		return // results[i]-shaped: the worker's own slot
+	}
+	pass.Reportf(target.Pos(),
+		"parallel.ForEach worker writes to captured %q outside its own index slot: cross-slot writes race and break bit-identical sweeps (write only to slots indexed by the worker index)", root.Name)
+}
+
+// resolveTarget peels selectors, dereferences and index steps off a
+// write target, returning the root identifier and whether any index
+// step's expression mentions the worker's index parameter.
+func resolveTarget(pass *framework.Pass, param types.Object, target ast.Expr) (*ast.Ident, bool) {
+	ownSlot := false
+	for {
+		switch t := target.(type) {
+		case *ast.Ident:
+			return t, ownSlot
+		case *ast.SelectorExpr:
+			target = t.X
+		case *ast.StarExpr:
+			target = t.X
+		case *ast.ParenExpr:
+			target = t.X
+		case *ast.IndexExpr:
+			// Only slice/array elements are per-worker slots; a map write
+			// races on the map's internals no matter which key each
+			// worker owns.
+			if param != nil && sliceOrArray(pass, t.X) && mentions(pass, t.Index, param) {
+				ownSlot = true
+			}
+			target = t.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// sliceOrArray reports whether expr has slice, array or *array type.
+func sliceOrArray(pass *framework.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	switch t.(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// mentions reports whether expr references the given object.
+func mentions(pass *framework.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,17 @@
+package sharedwrite_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mobicache/internal/analyzers/framework"
+	"mobicache/internal/analyzers/sharedwrite"
+)
+
+func TestAnalyzer(t *testing.T) {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	framework.RunTest(t, testdata, sharedwrite.Analyzer, "sharedwrite")
+}

@@ -1,0 +1,113 @@
+// Package sharedwrite exercises the own-slot-only write contract for
+// parallel.ForEach worker closures.
+package sharedwrite
+
+import "internal/parallel"
+
+type result struct {
+	N    int
+	Tags []string
+}
+
+func ownSlotWrites(n int) ([]result, error) {
+	results := make([]result, n)
+	err := parallel.ForEach(n, 0, func(i int) error {
+		r := result{N: i}     // locals are free
+		results[i] = r        // own slot: fine
+		results[i].N++        // field of own slot: fine
+		results[i].Tags = nil // nested field of own slot: fine
+		return nil
+	})
+	return results, err
+}
+
+func offsetSlotWrites(n, base int) ([]result, error) {
+	results := make([]result, 2*n)
+	err := parallel.ForEach(n, 0, func(i int) error {
+		results[base+i] = result{N: i} // sharded offset still mentions i: fine
+		return nil
+	})
+	return results, err
+}
+
+func capturedCounter(n int) (int, error) {
+	total := 0
+	err := parallel.ForEach(n, 0, func(i int) error {
+		total += i // want `writes to captured "total" outside its own index slot`
+		return nil
+	})
+	return total, err
+}
+
+func capturedIncDec(n int) (int, error) {
+	count := 0
+	err := parallel.ForEach(n, 0, func(i int) error {
+		count++ // want `writes to captured "count" outside its own index slot`
+		return nil
+	})
+	return count, err
+}
+
+func fixedSlot(n int) ([]result, error) {
+	results := make([]result, n)
+	err := parallel.ForEach(n, 0, func(i int) error {
+		results[0] = result{N: i} // want `writes to captured "results" outside its own index slot`
+		return nil
+	})
+	return results, err
+}
+
+func capturedField(n int) (result, error) {
+	var last result
+	err := parallel.ForEach(n, 0, func(i int) error {
+		last.N = i // want `writes to captured "last" outside its own index slot`
+		return nil
+	})
+	return last, err
+}
+
+func capturedMap(n int) (map[int]int, error) {
+	m := make(map[int]int)
+	err := parallel.ForEach(n, 0, func(i int) error {
+		m[i] = i // want `writes to captured "m" outside its own index slot`
+		return nil
+	})
+	return m, err
+}
+
+func throughPointer(n int, p *result) error {
+	return parallel.ForEach(n, 0, func(i int) error {
+		*p = result{N: i} // want `writes to captured "p" outside its own index slot`
+		return nil
+	})
+}
+
+func rangeReuse(n int, last *int, rows [][]int) error {
+	v := 0
+	return parallel.ForEach(n, 0, func(i int) error {
+		for _, v = range rows[i] { // want `writes to captured "v" outside its own index slot`
+			_ = v
+		}
+		return nil
+	})
+}
+
+func suppressedCounter(n int) (int, error) {
+	attempts := 0
+	err := parallel.ForEach(n, 1, func(i int) error {
+		//lint:allow sharedwrite workers=1 pins this pool to the caller goroutine
+		attempts++
+		return nil
+	})
+	return attempts, err
+}
+
+func shadowedLocal(n int) error {
+	results := make([]result, n)
+	_ = results
+	return parallel.ForEach(n, 0, func(i int) error {
+		results := make([]result, 1) // a new local shadows the captured slice
+		results[0] = result{N: i}    // writes the local: fine
+		return nil
+	})
+}

@@ -149,6 +149,9 @@ func (k *Kernel) MaxPending() int { return k.maxPending }
 
 // Schedule queues fn to run delay seconds from now and returns a handle
 // that can be cancelled. It panics on a negative delay.
+//
+//hot path: runs once per simulated event; 0 allocs/op pinned by
+// BenchmarkKernelScheduleCancel.
 func (k *Kernel) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
@@ -157,6 +160,9 @@ func (k *Kernel) Schedule(delay Time, fn func()) Handle {
 }
 
 // At queues fn to run at absolute time t (>= Now) and returns a handle.
+//
+//hot path: every Schedule lands here; steady state reuses freelist
+// events and allocates nothing.
 func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, k.now))
@@ -172,18 +178,23 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 		k.free = k.free[:n-1]
 		e.t, e.seq, e.fn = t, k.seq, fn
 	} else {
+		//lint:allow hotalloc freelist miss is the cold fill path; steady state recycles via Cancel/Step and BenchmarkKernelScheduleCancel pins 0 allocs/op
 		e = &event{t: t, seq: k.seq, fn: fn}
 	}
 	heap.Push(&k.events, e)
 	if len(k.events) > k.maxPending {
 		k.maxPending = len(k.events)
 	}
+	//lint:allow hotalloc Handle is a two-word value returned on the stack; it never escapes
 	return Handle{e: e, seq: e.seq}
 }
 
 // Cancel removes the handle's event from the calendar if it has not
 // fired. Cancelling twice, cancelling after the event fired, or
 // cancelling a zero Handle all do nothing.
+//
+//hot path: timer churn cancels an event per message; 0 allocs/op
+// pinned by BenchmarkKernelScheduleCancel.
 func (k *Kernel) Cancel(h Handle) {
 	if !h.Scheduled() {
 		return
@@ -192,11 +203,15 @@ func (k *Kernel) Cancel(h Handle) {
 	heap.Remove(&k.events, e.heapIndex)
 	e.fn = nil
 	e.heapIndex = -1
+	//lint:allow hotalloc the freelist never outgrows the calendar high-water mark, so growth stops once the pool warms up
 	k.free = append(k.free, e)
 }
 
 // Step fires the next event, advancing time. It reports false when the
 // calendar is empty.
+//
+//hot path: the event loop itself; 0 allocs/op pinned by
+// BenchmarkKernelEventThroughput.
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
@@ -210,6 +225,7 @@ func (k *Kernel) Step() bool {
 	e.fn = nil
 	// Recycle before running fn: outstanding handles are already stale
 	// (heapIndex is -1, and any reuse bumps seq past theirs).
+	//lint:allow hotalloc the freelist never outgrows the calendar high-water mark, so growth stops once the pool warms up
 	k.free = append(k.free, e)
 	k.executed++
 	fn()

@@ -82,12 +82,18 @@ func (p *Proc) park() {
 }
 
 // Hold suspends the process for d simulated seconds.
+//
+//hot path: every process timestep; reuses the cached wake closure, so
+// holds allocate nothing.
 func (p *Proc) Hold(d Time) {
 	p.k.Schedule(d, p.wake)
 	p.park()
 }
 
 // HoldUntil suspends the process until absolute time t (no-op if t <= now).
+//
+//hot path: same contract as Hold — the cached wake closure keeps it
+// allocation-free.
 func (p *Proc) HoldUntil(t Time) {
 	if t <= p.k.now {
 		return
@@ -118,6 +124,9 @@ func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
 func (s *Signal) Waiting() int { return len(s.waiters) }
 
 // Broadcast wakes every waiter at the current simulated time.
+//
+//hot path: wakeups ride the cached per-process closures; the waiter
+// slice is reused (resliced to zero, capacity retained).
 func (s *Signal) Broadcast() {
 	for _, p := range s.waiters {
 		s.k.Schedule(0, p.wake)
@@ -126,6 +135,8 @@ func (s *Signal) Broadcast() {
 }
 
 // Signal wakes the longest-waiting process, if any.
+//
+//hot path: one wake per signal; nothing here allocates.
 func (s *Signal) Signal() {
 	if len(s.waiters) == 0 {
 		return
