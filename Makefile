@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke bench par-bench cover mobilint clean
+.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -53,6 +53,13 @@ chaos-smoke:
 # on any stale read, broken accounting identity, or queue past its cap.
 overload-smoke:
 	$(GO) run ./cmd/experiments -figure ext-overload-thr -simtime 4000 -out results-overload
+
+# Adversarial-delivery pass: the ext-delivery sweep (delay jitter,
+# reordering, duplication, asymmetric partitions, clock skew at five
+# severity levels, all seven schemes) at a short horizon. The sweep's own
+# check fails the run on any stale read or broken accounting identity.
+delivery-smoke:
+	$(GO) run ./cmd/experiments -figure ext-delivery-thr -simtime 4000 -out results-delivery
 
 # Observability smoke: one instrumented run emitting all three artifacts
 # (metrics timeline, lossless JSONL event stream, run manifest), each

@@ -14,6 +14,7 @@ import (
 	"mobicache/internal/bitseq"
 	"mobicache/internal/cache"
 	"mobicache/internal/db"
+	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/exp"
 	"mobicache/internal/netsim"
@@ -310,5 +311,37 @@ func BenchmarkChannelBoundedShed(b *testing.B) {
 		ch.Send(netsim.ClassControl, 100, nil)
 	}) != 0 {
 		b.Fatal("shed path allocates")
+	}
+}
+
+// BenchmarkDeliveryLinkDeliver measures the armed delivery hook: every
+// simulated message on an adversarial channel runs through Link.Deliver,
+// so the contract requires it to be allocation-free — jitter draws are
+// pure arithmetic and the postponed callback rides the kernel's event
+// freelist. Each iteration delivers one message and drains its event.
+func BenchmarkDeliveryLinkDeliver(b *testing.B) {
+	k := sim.New()
+	adv := delivery.New(k, delivery.Config{
+		Down: delivery.LinkParams{Jitter: 0.5, ReorderProb: 0.1, ReorderDelay: 25, DupProb: 0.05},
+	}, rng.New(9), nil)
+	l := adv.Down
+	cb := func() {}
+	for i := 0; i < 64; i++ { // warm the event freelist
+		l.Deliver(cb)
+	}
+	for k.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Deliver(cb)
+		k.Step()
+	}
+	b.StopTimer()
+	if testing.AllocsPerRun(100, func() {
+		l.Deliver(cb)
+		k.Step()
+	}) != 0 {
+		b.Fatal("armed delivery hook allocates")
 	}
 }

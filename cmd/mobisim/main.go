@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mobicache/internal/core"
+	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/metrics"
 	"mobicache/internal/overload"
@@ -81,6 +82,7 @@ func run(args []string, out *os.File) error {
 	queryDeadline := fs.Float64("query-deadline", 0, "abandon queries unanswered after this many simulated seconds (0 = wait forever)")
 	pendingCap := fs.Int("server-pending-cap", 0, "bound the server's pending-fetch table; excess fetches get a busy reply (0 = unbounded)")
 	coalesce := fs.Bool("coalesce", false, "merge concurrent fetches of one item into a single downlink transmission")
+	deliverySev := fs.Float64("delivery", 0, "adversarial delivery severity 0..4: jitter, reordering, duplication, partitions, clock skew (requires a recovery path, e.g. -query-deadline)")
 	seeds := fs.Int("seeds", 1, "replication count; N > 1 runs N seeds derived from -seed and averages them")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers for -seeds > 1 (results are identical at any setting)")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
@@ -131,6 +133,7 @@ func run(args []string, out *os.File) error {
 			ServerPendingCap: *pendingCap,
 			Coalesce:         *coalesce,
 		}
+		c.Delivery = delivery.Severity(*deliverySev)
 		var err error
 		if c.Workload, err = workload.Parse(*wl, c.DBSize); err != nil {
 			return err
@@ -360,6 +363,16 @@ type jsonResults struct {
 	BusyReplies      int64 `json:"busy_replies"`
 	RepliesShed      int64 `json:"replies_shed"`
 
+	IRGaps           int64 `json:"ir_gaps"`
+	IRDuplicates     int64 `json:"ir_duplicates"`
+	IRReorders       int64 `json:"ir_reorders"`
+	SkewDegrades     int64 `json:"skew_degrades"`
+	Partitions       int64 `json:"partitions"`
+	PartitionDrops   int64 `json:"partition_drops"`
+	DeliveryDelayed  int64 `json:"delivery_delayed"`
+	DeliveryReorders int64 `json:"delivery_reorders"`
+	DeliveryDups     int64 `json:"delivery_dups"`
+
 	MeasuredTime          float64 `json:"measured_time_s"`
 	Events                uint64  `json:"events"`
 	PeakEventQueue        int     `json:"peak_event_queue"`
@@ -440,6 +453,16 @@ func toJSONResults(r *engine.Results) jsonResults {
 		CoalescedFetches: r.CoalescedFetches,
 		BusyReplies:      r.BusyReplies,
 		RepliesShed:      r.RepliesShed,
+
+		IRGaps:           r.IRGaps,
+		IRDuplicates:     r.IRDuplicates,
+		IRReorders:       r.IRReorders,
+		SkewDegrades:     r.SkewDegrades,
+		Partitions:       r.Partitions,
+		PartitionDrops:   r.PartitionDrops,
+		DeliveryDelayed:  r.DeliveryDelayed,
+		DeliveryReorders: r.DeliveryReorders,
+		DeliveryDups:     r.DeliveryDups,
 
 		MeasuredTime:          r.MeasuredTime,
 		Events:                r.Events,
@@ -539,6 +562,12 @@ func printResults(out *os.File, r *engine.Results, verbose bool) {
 				r.UpShedMsgs, r.DownShedMsgs, r.UpPeakQueue, r.DownPeakQueue)
 			fmt.Fprintf(out, "coalesced / busy replies: %d / %d (heard %d, shed %d)\n",
 				r.CoalescedFetches, r.BusyReplies, r.BusyHeard, r.RepliesShed)
+		}
+		if r.Config.Delivery.Enabled() {
+			fmt.Fprintf(out, "seq fence (gap/dup/reorder/skew): %d / %d / %d / %d\n",
+				r.IRGaps, r.IRDuplicates, r.IRReorders, r.SkewDegrades)
+			fmt.Fprintf(out, "delivery adversary:      %d delayed (%d reordered), %d dups, %d partitions (%d drops)\n",
+				r.DeliveryDelayed, r.DeliveryReorders, r.DeliveryDups, r.Partitions, r.PartitionDrops)
 		}
 		fmt.Fprintf(out, "simulated events:        %d (peak queue %d)\n", r.Events, r.PeakEventQueue)
 		if r.Config.ConsistencyCheck {

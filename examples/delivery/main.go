@@ -1,0 +1,80 @@
+// Delivery: the adversarial-network story. The chaos example destroys
+// messages; this one delivers them wrong — delayed past the broadcast
+// period, reordered, duplicated, cut off by asymmetric partitions, and
+// timestamped against skewed, drifting client clocks. The broadcast
+// sequence fence turns every anomaly into a safe verdict: duplicates and
+// reorders are dropped idempotently, gaps degrade the cache exactly like
+// a too-long disconnection, and a report too far ahead of the local
+// clock's error budget ε is distrusted rather than believed. The table
+// walks the severity ladder for one scheme, then pins every scheme at
+// the hardest level: zero stale reads throughout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mobicache"
+)
+
+func base() mobicache.Config {
+	cfg := mobicache.DefaultConfig()
+	cfg.SimTime = 40000
+	cfg.MeanDisc = 400
+	cfg.ConsistencyCheck = true // the stale-read detector is the point
+	// The fence's recovery path: an exchange destroyed by a partition is
+	// re-requested with capped backoff, never waited on forever.
+	cfg.Faults.Retry = mobicache.RetryPolicy{Timeout: 240, Backoff: 2, MaxDelay: 1920, Jitter: 0.2, MaxAttempts: 6}
+	return cfg
+}
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	fmt.Fprintln(w, "severity\tqueries\tgaps\tdups\treorders\tpartitions\tpart drops\tdelayed\tstale reads")
+	for _, level := range []float64{0, 1, 2, 3, 4} {
+		cfg := base()
+		cfg.Scheme = "aaw"
+		cfg.Delivery = mobicache.DeliverySeverity(level)
+		res, err := mobicache.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.ConsistencyViolations != 0 {
+			log.Fatalf("aaw served stale data at severity %v: %v", level, res.FirstViolation)
+		}
+		fmt.Fprintf(w, "%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			level, res.QueriesAnswered, res.IRGaps, res.IRDuplicates, res.IRReorders,
+			res.Partitions, res.PartitionDrops, res.DeliveryDelayed, res.ConsistencyViolations)
+	}
+	w.Flush()
+
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tqueries\tgaps\tdups\treorders\tskew degrades\tstale reads")
+	for _, scheme := range []string{"ts", "at", "ts-check", "bs", "afw", "aaw", "sig"} {
+		cfg := base()
+		cfg.Scheme = scheme
+		cfg.Delivery = mobicache.DeliverySeverity(4)
+		res, err := mobicache.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.ConsistencyViolations != 0 {
+			log.Fatalf("%s served stale data under the delivery adversary: %v", scheme, res.FirstViolation)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			scheme, res.QueriesAnswered, res.IRGaps, res.IRDuplicates, res.IRReorders,
+			res.SkewDegrades, res.ConsistencyViolations)
+	}
+	w.Flush()
+
+	fmt.Println()
+	fmt.Println("Every scheme survives the delivery adversary with zero stale reads: the")
+	fmt.Println("broadcast sequence number fences the IR stream, so duplicates drop, a")
+	fmt.Println("reorder beyond the window reads as a gap, and a gap degrades the cache")
+	fmt.Println("exactly like a disconnection longer than the invalidation window — the")
+	fmt.Println("client pays with drops and re-checks, never with a stale answer.")
+}

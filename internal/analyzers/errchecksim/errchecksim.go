@@ -18,7 +18,7 @@ import (
 
 // codecPkgs are the package-path suffixes whose error returns must not be
 // dropped.
-var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report"}
+var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report", "internal/delivery"}
 
 // shedPkgs are the package-path suffixes whose boolean admission verdicts
 // must not be dropped. A bounded channel's Send returns false when the
@@ -29,10 +29,11 @@ var shedPkgs = []string{"internal/netsim"}
 // Analyzer is the errcheck-sim check.
 var Analyzer = &framework.Analyzer{
 	Name: "errcheck-sim",
-	Doc: "flag dropped errors from internal/bitio, internal/bitseq and " +
-		"internal/report encode/decode calls, and dropped bounded-channel " +
-		"admission verdicts from internal/netsim; codec failures and shed " +
-		"sends must surface, not corrupt figures",
+	Doc: "flag dropped errors from internal/bitio, internal/bitseq, " +
+		"internal/report and internal/delivery calls (codec and config " +
+		"validation), and dropped bounded-channel admission verdicts from " +
+		"internal/netsim; codec failures, rejected configs and shed sends " +
+		"must surface, not corrupt figures",
 	Run: run,
 }
 

@@ -37,14 +37,15 @@ import (
 // "Type.Method" or plain "Func". These are the paths whose allocs/op the
 // benchmark suite asserts to be zero (BenchmarkKernelEventThroughput,
 // BenchmarkKernelScheduleCancel, BenchmarkKernelProcSwitch,
-// BenchmarkChannelBoundedShed) plus the per-event instruments and the
-// pooled bit writers that ride inside them.
+// BenchmarkChannelBoundedShed, BenchmarkDeliveryLinkDeliver) plus the
+// per-event instruments and the pooled bit writers that ride inside them.
 var knownHot = map[string][]string{
 	"internal/sim": {
 		"Kernel.Schedule", "Kernel.At", "Kernel.Cancel", "Kernel.Step",
 		"Proc.Hold", "Proc.HoldUntil", "Signal.Signal", "Signal.Broadcast",
 	},
-	"internal/netsim": {"Channel.Send"},
+	"internal/netsim":   {"Channel.Send"},
+	"internal/delivery": {"Link.Deliver"},
 	"internal/metrics": {
 		"Counter.Add", "Counter.Inc", "Gauge.Set", "Histogram.Observe",
 	},

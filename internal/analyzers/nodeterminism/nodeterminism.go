@@ -27,6 +27,7 @@ var Restricted = []string{
 	"internal/multicell",
 	"internal/netsim",
 	"internal/faults",
+	"internal/delivery",
 	"internal/metrics",
 	"internal/overload",
 	"internal/parallel",

@@ -12,6 +12,7 @@ import (
 
 	"mobicache/internal/bitio"
 	"mobicache/internal/core"
+	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
 	"mobicache/internal/netsim"
 	"mobicache/internal/report"
@@ -108,6 +109,27 @@ type Config struct {
 	// and the query is counted as timed out instead of answered. 0 keeps
 	// the legacy wait-forever behaviour and schedules no deadline events.
 	QueryDeadline float64
+	// FenceSeq arms the broadcast sequence fence: the client tracks the
+	// frame-header sequence number of every processed report and judges
+	// each new one by serial arithmetic — duplicates and reorders are
+	// dropped idempotently, gaps force the scheme's conservative
+	// long-disconnection path (DESIGN.md §13). The engine arms it only
+	// when the adversarial-delivery layer is enabled, so the established
+	// loss-model semantics (a GE-lost report is simply never heard, and
+	// the Tlb window logic absorbs it) are untouched otherwise.
+	FenceSeq bool
+	// Clock is the injected clock-error model this client reads local
+	// time through (delivery layer); the zero value is a perfect clock.
+	// It is a lens on perception only — protocol state (Tlb, cache touch
+	// times) stays server-timestamped, as the paper's algorithms compare
+	// server stamps against server stamps.
+	Clock delivery.Clock
+	// SkewEpsilon is the protocol's assumed bound ε on total clock error:
+	// with the fence armed, a report whose server timestamp runs ahead of
+	// the client's local clock by more than ε is impossible under the
+	// contract, so the client distrusts its delivery history and degrades
+	// down the same path as a sequence gap. 0 disables the skew guard.
+	SkewEpsilon float64
 }
 
 // Client is one mobile host.
@@ -151,6 +173,10 @@ type Client struct {
 	ReportsCorrupted     int64
 	Retries              int64
 	EpochDegrades        int64
+	IRGaps               int64
+	IRDuplicates         int64
+	IRReorders           int64
+	SkewDegrades         int64
 	ValidationUplinkBits float64
 	ValidationUplinkMsgs int64
 	FetchUplinkBits      float64
@@ -241,6 +267,9 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 			return
 		}
 	}
+	if c.cfg.FenceSeq && !c.fenceAdmit(r, now) {
+		return
+	}
 	c.ReportsHeard++
 	salvagesBefore := c.st.Salvages
 	out := c.cfg.Side.HandleReport(c.st, r, now)
@@ -251,6 +280,57 @@ func (c *Client) DeliverReport(r report.Report, now sim.Time) {
 		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheSalvage, Client: c.cfg.ID})
 	}
 	c.handleOutcome(out, now)
+}
+
+// fenceAdmit runs the broadcast sequence fence over a report that
+// survived the loss model, and the stale-by-skew guard. It reports
+// whether the handler should process the report: duplicates and
+// reorders are dropped here (false); a gap or a skew violation marks
+// the protocol state so the scheme handler takes its conservative
+// long-disconnection path, and the report is still processed (true).
+func (c *Client) fenceAdmit(r report.Report, now sim.Time) bool {
+	seq := report.SeqOf(r)
+	if c.st.HasSeq {
+		switch d := report.SeqDelta(seq, c.st.LastSeq); {
+		case d == 0:
+			// Idempotent drop: this broadcast was already processed.
+			c.IRDuplicates++
+			c.cfg.Metrics.irDuplicate()
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRDuplicate,
+				Client: c.cfg.ID, A: int64(seq)})
+			return false
+		case d < 0:
+			// Delivered out of order beyond the window: a newer report was
+			// already processed, so this one's window reaches into already-
+			// consumed history. Applying it could resurrect stale entries;
+			// drop it. The newer report's processing already covered (or
+			// conservatively degraded over) everything this one announces.
+			c.IRReorders++
+			c.cfg.Metrics.irReorder()
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRReorder,
+				Client: c.cfg.ID, A: int64(d)})
+			return false
+		case d > 1:
+			// Broadcasts are missing between the last processed report and
+			// this one — exactly a disconnection longer than the client can
+			// verify. Mark the gap; the handler's seqGate degrades.
+			c.IRGaps++
+			c.cfg.Metrics.irGap()
+			c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRGap,
+				Client: c.cfg.ID, A: int64(d)})
+			c.st.SeqGap = true
+		}
+	}
+	c.st.LastSeq = seq
+	c.st.HasSeq = true
+	if c.cfg.SkewEpsilon > 0 && r.Time() > c.cfg.Clock.Read(now)+c.cfg.SkewEpsilon {
+		// The report claims a broadcast time further in the future than
+		// the skew contract allows: the client's clock (or the delivery
+		// history) is outside its trust envelope. Degrade like a gap.
+		c.SkewDegrades++
+		c.st.SeqGap = true
+	}
+	return true
 }
 
 // DeliverValidity implements server.Receiver.
@@ -441,6 +521,11 @@ func (c *Client) disconnect(p *sim.Proc) {
 	if c.cfg.OnWake != nil {
 		c.cfg.OnWake(c)
 	}
+	// Forget the fence position: broadcasts missed while asleep are the
+	// paper's problem (the Tlb window logic handles them), not a delivery
+	// anomaly. Without this reset every nap would read as a sequence gap
+	// and force a degrade the schemes are designed to avoid.
+	c.st.ResetSeqFence()
 	c.connected = true
 	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.Reconnect, Client: c.cfg.ID})
 }
@@ -610,6 +695,10 @@ func (c *Client) ResetStats() {
 	c.ReportsCorrupted = 0
 	c.Retries = 0
 	c.EpochDegrades = 0
+	c.IRGaps = 0
+	c.IRDuplicates = 0
+	c.IRReorders = 0
+	c.SkewDegrades = 0
 	c.ValidationUplinkBits = 0
 	c.ValidationUplinkMsgs = 0
 	c.FetchUplinkBits = 0

@@ -28,6 +28,11 @@ type Metrics struct {
 	// bounded uplink tail-dropped their only fetch request.
 	DeadlineMisses *metrics.Counter
 	QueriesShed    *metrics.Counter
+	// Sequence-fence verdicts (armed only under the adversarial-delivery
+	// layer): gaps detected, duplicates dropped, reorders dropped.
+	IRGaps       *metrics.Counter
+	IRDuplicates *metrics.Counter
+	IRReorders   *metrics.Counter
 }
 
 func (m *Metrics) deadlineMiss() {
@@ -99,4 +104,25 @@ func (m *Metrics) dropAll() {
 		return
 	}
 	m.Drops.Inc()
+}
+
+func (m *Metrics) irGap() {
+	if m == nil {
+		return
+	}
+	m.IRGaps.Inc()
+}
+
+func (m *Metrics) irDuplicate() {
+	if m == nil {
+		return
+	}
+	m.IRDuplicates.Inc()
+}
+
+func (m *Metrics) irReorder() {
+	if m == nil {
+		return
+	}
+	m.IRReorders.Inc()
 }

@@ -132,7 +132,14 @@ type adaptiveClient struct {
 
 // HandleReport implements ClientSide (the client halves of Figures 3/4).
 func (c *adaptiveClient) HandleReport(st *ClientState, r report.Report, now float64) Outcome {
-	if epochGate(st, r) {
+	degraded := epochGate(st, r)
+	if seqGate(st) {
+		// Missing broadcasts may have carried window entries (or BS
+		// announcements) the client will never see: same futility as the
+		// restart case, same conservative exit.
+		degraded = true
+	}
+	if degraded {
 		// The restarted server lost both its history window and any
 		// pending feedback; asking it to salvage the gap is futile.
 		st.SentTlb = false

@@ -58,7 +58,14 @@ func (c *atClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	// contiguity test would (no broadcasts happen while the server is
 	// down, so the test usually fires anyway; the gate covers restarts
 	// quicker than one interval).
-	if epochGate(st, ar) {
+	degraded := epochGate(st, ar)
+	if seqGate(st) {
+		// A sequence gap is a missed report by construction, which the
+		// contiguity test below would also catch; gating here keeps the
+		// gap→degrade equivalence uniform across schemes.
+		degraded = true
+	}
+	if degraded {
 		return degradeDrop(st, ar.T)
 	}
 	// Contiguity test: the previous report was at T-L. Allow a relative

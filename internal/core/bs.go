@@ -49,7 +49,14 @@ func (c *bsClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	// The rebuilt structure is derived from durable metadata, but a
 	// restarted server cannot vouch that it covers the client's gap;
 	// degrade conservatively below the trust floor.
-	if epochGate(st, br) {
+	degraded := epochGate(st, br)
+	if seqGate(st) {
+		// The bit-sequence structure self-describes validity against any
+		// Tlb, but a gap means the client's Tlb may rest on reports whose
+		// successors it never saw; degrade like the restart case.
+		degraded = true
+	}
+	if degraded {
 		return degradeDrop(st, br.T)
 	}
 	return applyBS(st, br, &c.scratch)

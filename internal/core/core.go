@@ -103,6 +103,19 @@ type ClientState struct {
 	// the server first crashes; see report.RecoveryMarker).
 	Epoch int32
 
+	// Sequence-fence state (armed only under the adversarial-delivery
+	// layer; see client.Config.FenceSeq and DESIGN.md §13). LastSeq is
+	// the broadcast sequence number of the last report processed and
+	// HasSeq whether one has been processed since the fence was last
+	// reset; the client resets the fence across disconnections, so an
+	// ordinary sleep is judged by the paper's Tlb window logic, not by
+	// missed sequence numbers. SeqGap is set by the fence when it detects
+	// missing broadcasts and consumed (read-and-cleared) by the scheme
+	// handler via seqGate.
+	LastSeq uint32
+	HasSeq  bool
+	SeqGap  bool
+
 	// Ext holds scheme-specific per-client state (e.g. the SIG scheme's
 	// previously heard combined signatures).
 	Ext any
@@ -204,6 +217,27 @@ func epochGate(st *ClientState, r report.Report) bool {
 	}
 	st.Epoch = m.Epoch
 	return st.Tlb < m.TrustFloor
+}
+
+// seqGate consumes the sequence fence's pending gap verdict: true when
+// the fence detected missing broadcasts before this report. A detected
+// gap is treated exactly like a disconnection longer than the window —
+// the handler takes the same conservative path epochGate forces — so
+// every scheme merges seqGate into its epochGate result. Read-and-clear,
+// and evaluated unconditionally alongside epochGate so the flag can
+// never leak into a later report.
+func seqGate(st *ClientState) bool {
+	g := st.SeqGap
+	st.SeqGap = false
+	return g
+}
+
+// ResetSeqFence forgets the fence position. The client calls it on
+// disconnect: broadcasts missed while asleep are the paper's problem
+// (Tlb window logic), not a delivery anomaly.
+func (st *ClientState) ResetSeqFence() {
+	st.HasSeq = false
+	st.SeqGap = false
 }
 
 // degradeDrop is the default epoch-degrade action (every scheme except

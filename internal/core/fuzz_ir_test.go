@@ -27,8 +27,17 @@ func FuzzDecodeIR(f *testing.F) {
 	seed(&report.TSReport{T: 60, Entries: []db.UpdateEntry{{ID: 1, TS: 55}}, Dummy: &report.DummyRecord{Tlb: 12}})
 	seed(&report.ATReport{T: 20, IDs: []int32{4, 8, 15, 16, 23, 42}})
 	seed(&report.SIGReport{T: 80, Sigs: []uint64{0xdead, 0xbeef}, SigBits: 16})
+	// Sequence-header edges: the wraparound value (successor is 0) and the
+	// sign-flip edge of the fence's serial-number comparison.
+	wrapped := &report.TSReport{T: 90, Entries: []db.UpdateEntry{{ID: 2, TS: 85}}}
+	report.SetSeq(wrapped, math.MaxUint32)
+	seed(wrapped)
+	signEdge := &report.ATReport{T: 95, IDs: []int32{1}}
+	report.SetSeq(signEdge, 1<<31)
+	seed(signEdge)
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0x80}) // header-only: kind + all-ones seq, then truncation
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bitio.NewReader(data, len(data)*8)
@@ -53,6 +62,13 @@ func FuzzDecodeIR(f *testing.F) {
 		}
 		if got, want := rep2.SizeBits(p), rep.SizeBits(p); got != want {
 			t.Fatalf("analytic size changed across round trip: %d -> %d bits", want, got)
+		}
+		// The broadcast sequence number rides the frame header; the client
+		// fence cannot tolerate it drifting across the wire, including at
+		// the uint32 wraparound edge.
+		if report.SeqOf(rep2) != report.SeqOf(rep) {
+			t.Fatalf("sequence number changed across round trip: %d -> %d",
+				report.SeqOf(rep), report.SeqOf(rep2))
 		}
 	})
 }

@@ -210,7 +210,14 @@ func (c *sigClient) HandleReport(st *ClientState, r report.Report, now float64) 
 		ext = &sigClientExt{}
 		st.Ext = ext
 	}
-	if epochGate(st, sr) {
+	degraded := epochGate(st, sr)
+	if seqGate(st) {
+		// A gap invalidates the diff baseline exactly like a restart
+		// slept through: signatures may have changed and changed back
+		// across the missing broadcasts.
+		degraded = true
+	}
+	if degraded {
 		// The rebuilt combined signatures are a pure function of the
 		// durable database, but the client treats a restart it slept
 		// through as losing its diff baseline: drop and restart from this

@@ -81,6 +81,12 @@ func (c *tsClient) HandleReport(st *ClientState, r report.Report, now float64) O
 	// untrustworthy even when Tlb falls inside it: the restarted server
 	// no longer remembers updates from the client's gap.
 	degraded := epochGate(st, tr)
+	if seqGate(st) {
+		// Missing broadcasts are exactly a disconnection longer than the
+		// client can verify: fall through to the conservative path (drop,
+		// or a check request for the checking variant).
+		degraded = true
+	}
 	if !degraded && st.Tlb >= tr.T-c.p.WindowSeconds() {
 		applyTSEntries(st, tr.Entries, tr.T)
 		validate(st, tr.T)

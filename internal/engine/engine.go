@@ -11,6 +11,7 @@ import (
 	"mobicache/internal/client"
 	"mobicache/internal/core"
 	"mobicache/internal/db"
+	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
 	"mobicache/internal/metrics"
 	"mobicache/internal/netsim"
@@ -115,6 +116,17 @@ type Config struct {
 	// admission control require a recovery path (Overload.QueryDeadline or
 	// Faults.Retry); Validate enforces it.
 	Overload overload.Config
+	// Delivery configures the adversarial-delivery layer: per-link delay
+	// jitter, bounded reordering, duplication, asymmetric partitions, and
+	// per-client clock skew/drift. Enabling it arms the clients' broadcast
+	// sequence fence (gap/duplicate/reorder detection over the reports'
+	// frame-header sequence numbers; DESIGN.md §13). The zero value
+	// disables everything — no events, no randomness, results
+	// bit-identical to builds without the layer (pinned by
+	// TestDeliveryFreeResultsUnchanged). Any enabled adversary requires a
+	// recovery path (Faults.Retry or Overload.QueryDeadline); Validate
+	// enforces it.
+	Delivery delivery.Config
 }
 
 // Default returns Table 1's settings with the UNIFORM workload: 100
@@ -183,6 +195,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Overload.Validate(c.Faults.Retry.Enabled()); err != nil {
+		return err
+	}
+	if err := c.Delivery.Validate(c.Faults.Retry.Enabled() || c.Overload.QueryDeadline > 0, c.SimTime); err != nil {
 		return err
 	}
 	if _, err := core.Lookup(c.Scheme); err != nil {
@@ -276,6 +291,19 @@ type Results struct {
 	CoalescedFetches int64 // fetches merged into one downlink transmission
 	BusyReplies      int64 // fetches the server rejected as busy
 	RepliesShed      int64 // server replies tail-dropped by a bounded downlink
+
+	// Adversarial delivery and the sequence fence. The first four are
+	// client-side fence verdicts; the rest count what the delivery
+	// adversary injected. All stay 0 with the layer disabled.
+	IRGaps           int64 // sequence gaps detected (each forced a conservative degrade)
+	IRDuplicates     int64 // duplicate reports dropped idempotently
+	IRReorders       int64 // out-of-order reports dropped
+	SkewDegrades     int64 // stale-by-skew degrades (report time beyond the ε envelope)
+	Partitions       int64 // partition events the adversary started
+	PartitionDrops   int64 // messages destroyed by an active partition
+	DeliveryDelayed  int64 // deliveries the adversary postponed (jitter/reorder)
+	DeliveryReorders int64 // deliveries pushed past the reorder window
+	DeliveryDups     int64 // duplicate deliveries injected
 
 	// Client behaviour.
 	ReportsLost               int64
@@ -388,6 +416,16 @@ func Run(c Config) (*Results, error) {
 			c.Trace.Record(trace.Event{T: k.Now(), Kind: kind, Client: -1, A: int64(class)})
 		})
 	}
+	// The adversarial-delivery layer: link adversaries on both channels,
+	// the partition process, and the per-client clock-error draws. nil
+	// (the zero config) wires nothing, schedules nothing, and consumes no
+	// randomness.
+	adv := delivery.New(k, c.Delivery, root.Split(4), c.Trace)
+	if adv != nil {
+		down.SetDelivery(adv.Down)
+		up.SetDelivery(adv.Up)
+		adv.Start()
+	}
 	var hook func(clientID, itemID, version int32, tlb float64)
 	if c.ConsistencyCheck {
 		hook = func(clientID, itemID, version int32, tlb float64) {
@@ -410,6 +448,19 @@ func Run(c Config) (*Results, error) {
 	side := scheme.NewClient(params)
 	clients := make([]*client.Client, c.Clients)
 	for i := range clients {
+		// Clock errors are drawn in client index order so assignments are
+		// a pure function of the seed; the fence is armed for every client
+		// whenever the delivery layer is enabled.
+		var clk delivery.Clock
+		fence := false
+		if adv != nil {
+			fence = true
+			clk = adv.ClockFor()
+			if c.Delivery.SkewMax > 0 || c.Delivery.DriftMax > 0 {
+				c.Trace.Record(trace.Event{T: 0, Kind: trace.ClockSkewApplied,
+					Client: int32(i), A: int64(clk.Offset * 1e6), B: int64(clk.Drift * 1e9)})
+			}
+		}
 		cl := client.New(k, up, srv, client.Config{
 			ID:               int32(i),
 			Side:             side,
@@ -430,6 +481,9 @@ func Run(c Config) (*Results, error) {
 			DownLoss:         c.Faults.DownLoss,
 			Retry:            c.Faults.Retry,
 			QueryDeadline:    c.Overload.QueryDeadline,
+			FenceSeq:         fence,
+			Clock:            clk,
+			SkewEpsilon:      c.Delivery.Epsilon,
 		}, root.Split(1000+uint64(i)))
 		clients[i] = cl
 		srv.Attach(cl)
@@ -467,6 +521,7 @@ func Run(c Config) (*Results, error) {
 			srv.ResetStats()
 			down.ResetStats()
 			up.ResetStats()
+			adv.ResetStats()
 			*respHist = *stats.NewHistogram(respHist.Lo, respHist.Hi, respHist.Bins())
 			res.UplinkMsgsLost = 0
 			res.UplinkMsgsCorrupted = 0
@@ -503,6 +558,10 @@ func Run(c Config) (*Results, error) {
 		res.ReportsCorrupted += cl.ReportsCorrupted
 		res.Retries += cl.Retries
 		res.EpochDegrades += cl.EpochDegrades
+		res.IRGaps += cl.IRGaps
+		res.IRDuplicates += cl.IRDuplicates
+		res.IRReorders += cl.IRReorders
+		res.SkewDegrades += cl.SkewDegrades
 		res.StaleValidityDropped += cl.StaleValidityDropped
 		if cl.RespTime.N() > 0 {
 			resp.Observe(cl.RespTime.Mean())
@@ -535,6 +594,13 @@ func Run(c Config) (*Results, error) {
 	res.DownShedMsgs = down.TotalShed()
 	res.UpPeakQueue = up.MaxQueuedLow()
 	res.DownPeakQueue = down.MaxQueuedLow()
+	if adv != nil {
+		res.Partitions = adv.Partitions
+		res.PartitionDrops = adv.PartitionDrops()
+		res.DeliveryDelayed = adv.Delayed()
+		res.DeliveryReorders = adv.Reordered()
+		res.DeliveryDups = adv.Dups()
+	}
 	res.ServerCrashes = srv.Crashes
 	res.ServerDowntime = srv.Downtime
 	if srv.RecoveryLatency.N() > 0 {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 
+	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
 	"mobicache/internal/overload"
 	"mobicache/internal/workload"
@@ -15,8 +16,10 @@ import (
 // a field changes meaning so downstream tooling can refuse stale files.
 // Version history: 1 = initial layout; 2 = added the overload block
 // (older manifests decode with a zero Overload, which is exactly the
-// disabled layer, so replay stays faithful).
-const ManifestSchemaVersion = 2
+// disabled layer, so replay stays faithful); 3 = added the delivery
+// block (same zero-value-is-disabled property, so v1/v2 manifests
+// replay unchanged).
+const ManifestSchemaVersion = 3
 
 // Manifest is the reproducibility record of one run: every knob needed
 // to re-execute it bit-identically (scheme, workload, seed, all Config
@@ -55,6 +58,7 @@ type Manifest struct {
 	ReportLossProb   float64         `json:"report_loss_prob"`
 	Faults           faults.Config   `json:"faults"`
 	Overload         overload.Config `json:"overload"`
+	Delivery         delivery.Config `json:"delivery"`
 
 	// Result digest: enough to verify that a replay reproduced the run.
 	QueriesAnswered    int64   `json:"queries_answered"`
@@ -103,6 +107,7 @@ func NewManifest(r *Results) *Manifest {
 		ReportLossProb:     c.ReportLossProb,
 		Faults:             c.Faults,
 		Overload:           c.Overload,
+		Delivery:           c.Delivery,
 		QueriesAnswered:    r.QueriesAnswered,
 		HitRatio:           r.HitRatio,
 		UplinkBitsPerQuery: r.UplinkBitsPerQuery,
@@ -158,6 +163,7 @@ func (m *Manifest) EngineConfig() (Config, error) {
 		ReportLossProb:   m.ReportLossProb,
 		Faults:           m.Faults,
 		Overload:         m.Overload,
+		Delivery:         m.Delivery,
 	}, nil
 }
 

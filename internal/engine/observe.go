@@ -35,6 +35,9 @@ func newClientMetrics(reg *metrics.Registry, c Config) *client.Metrics {
 		Drops:            reg.Counter("drops"),
 		DeadlineMisses:   reg.Counter("deadline_miss"),
 		QueriesShed:      reg.Counter("queries_shed"),
+		IRGaps:           reg.Counter("ir_gaps"),
+		IRDuplicates:     reg.Counter("ir_dups"),
+		IRReorders:       reg.Counter("ir_reorders"),
 	}
 }
 

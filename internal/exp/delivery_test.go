@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+func TestDeliverySweepLevelsValid(t *testing.T) {
+	sw := ExtensionSweeps["ext-delivery"]
+	if len(sw.Xs) != 5 {
+		t.Fatalf("delivery sweep has %d severity levels, want 5", len(sw.Xs))
+	}
+	for _, x := range sw.Xs {
+		c := sw.Configure(x)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("severity %v: %v", x, err)
+		}
+		if (x > 0) != c.Delivery.Enabled() {
+			t.Fatalf("severity %v: Delivery.Enabled() = %v", x, c.Delivery.Enabled())
+		}
+		if !c.ConsistencyCheck {
+			t.Fatalf("severity %v: sweep does not arm the stale-read oracle", x)
+		}
+	}
+}
+
+func TestDeliverySweepZeroStale(t *testing.T) {
+	// The acceptance bar in miniature: the hardest severity across all
+	// seven schemes, with the per-run zero-stale Check armed by the sweep.
+	sw := ExtensionSweeps["ext-delivery"]
+	orig := sw.Xs
+	sw.Xs = []float64{4}
+	defer func() { sw.Xs = orig }()
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 7 {
+		t.Fatalf("delivery sweep covers %d schemes, want all 7", len(res.Schemes))
+	}
+	for _, scheme := range res.Schemes {
+		cell := res.Cells[4][scheme]
+		if cell == nil || len(cell.Runs) == 0 {
+			t.Fatalf("%s: no runs", scheme)
+		}
+		run := cell.Runs[0]
+		if run.ConsistencyViolations != 0 {
+			t.Fatalf("%s: stale reads slipped past the sweep check", scheme)
+		}
+		if run.DeliveryDelayed == 0 && run.DeliveryDups == 0 && run.Partitions == 0 {
+			t.Fatalf("%s: level 4 adversary injected nothing", scheme)
+		}
+		if run.QueriesAnswered == 0 {
+			t.Fatalf("%s: answered nothing under the adversary", scheme)
+		}
+	}
+}
+
+// TestDeliverySweepBitIdentical extends the parallel-harness contract to
+// the adversarial sweep: delayed, reordered and duplicated deliveries
+// all flow through per-run RNG streams and the event calendar, so the
+// same (x, scheme, seed) cell must be the same simulation at any worker
+// count — manifests digest-identical, tables byte-identical.
+func TestDeliverySweepBitIdentical(t *testing.T) {
+	runAt := func(workers int) (string, *SweepResult) {
+		s := *ExtensionSweeps["ext-delivery"] // fresh copy: no cross-runner memoization
+		s.Xs = []float64{0, 3}
+		s.Schemes = []string{"aaw", "ts-check", "sig"}
+		r := NewRunner(Options{SimTime: 1500, Seeds: []uint64{1, 2}, Workers: workers})
+		fig := Figure{ID: "figdeliv", Title: "delivery determinism probe", Sweep: &s, Metric: Throughput}
+		table, err := r.RunFigure(fig)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sw, err := r.RunSweep(&s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return table.Render(), sw
+	}
+
+	refTable, ref := runAt(1)
+	for _, workers := range []int{2, 8} {
+		gotTable, got := runAt(workers)
+		if gotTable != refTable {
+			t.Errorf("workers=%d table differs from serial:\n%s\n--- want ---\n%s",
+				workers, gotTable, refTable)
+		}
+		for _, x := range ref.Sweep.Xs {
+			for _, scheme := range ref.Schemes {
+				refRuns := ref.Cells[x][scheme].Runs
+				gotRuns := got.Cells[x][scheme].Runs
+				if len(refRuns) != len(gotRuns) {
+					t.Fatalf("workers=%d x=%v %s: %d runs, want %d",
+						workers, x, scheme, len(gotRuns), len(refRuns))
+				}
+				for i, refRun := range refRuns {
+					m := engine.NewManifest(refRun)
+					if err := m.VerifyReplay(gotRuns[i]); err != nil {
+						t.Errorf("workers=%d x=%v %s seed[%d]: digest mismatch: %v",
+							workers, x, scheme, i, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeliveryFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"ext-delivery-thr", "ext-delivery-upl"} {
+		f, err := ExtensionByID(id)
+		if err != nil || f.Sweep.ID != "ext-delivery" {
+			t.Fatalf("%s: %+v %v", id, f, err)
+		}
+	}
+}

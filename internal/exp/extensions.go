@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/faults"
 	"mobicache/internal/overload"
@@ -174,6 +175,28 @@ func overloadCheck(r *engine.Results) error {
 	return nil
 }
 
+// deliveryCheck is the ext-delivery acceptance bar, applied to every run
+// at every severity level: zero stale reads no matter how the channel
+// reorders, duplicates, jitters, partitions, or how far the clients'
+// clocks drift — and the PR 4 accounting identity intact, since the
+// adversary destroys and postpones uplink exchanges too.
+func deliveryCheck(r *engine.Results) error {
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("delivery: %s served %d stale read(s); first: %v",
+			r.Config.Scheme, r.ConsistencyViolations, r.FirstViolation)
+	}
+	balance := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight
+	if r.QueriesIssued != balance {
+		return fmt.Errorf("delivery: %s accounting identity broken: issued=%d != answered=%d + timed_out=%d + shed=%d + in_flight=%d",
+			r.Config.Scheme, r.QueriesIssued, r.QueriesAnswered, r.QueriesTimedOut,
+			r.QueriesShed, r.QueriesInFlight)
+	}
+	if r.QueriesAnswered == 0 {
+		return fmt.Errorf("delivery: %s collapsed (nothing answered)", r.Config.Scheme)
+	}
+	return nil
+}
+
 func init() {
 	// Chaos robustness sweep: compound bursty loss + corruption + server
 	// crash/restart, jointly scaled by the chaos level, for all seven
@@ -217,7 +240,37 @@ func init() {
 		},
 		Check: overloadCheck,
 	}
+	// Adversarial-delivery sweep: reordering, duplication, delay jitter,
+	// asymmetric partitions and clock skew/drift, jointly scaled by the
+	// severity level (delivery.Severity), for all seven schemes with the
+	// stale-read checker armed. Level 1 already reorders past the
+	// broadcast period, so the sequence fence works at every enabled
+	// level; the retry policy is always on — a partition-destroyed fetch
+	// must be re-requested, not waited on forever.
+	ExtensionSweeps["ext-delivery"] = &Sweep{
+		ID: "ext-delivery", XLabel: "Delivery Severity (reorder x dup x partition x skew)",
+		Xs:      []float64{0, 1, 2, 3, 4},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ProbDisc = 0.1
+			c.MeanDisc = 400
+			c.ConsistencyCheck = true
+			c.Faults.Retry = faults.RetryPolicy{
+				Timeout:     240,
+				Backoff:     2,
+				MaxDelay:    1920,
+				Jitter:      0.2,
+				MaxAttempts: 6,
+			}
+			c.Delivery = delivery.Severity(x)
+			return c
+		},
+		Check: deliveryCheck,
+	}
 	Extensions = append(Extensions,
+		Figure{ID: "ext-delivery-thr", Title: "ROBUSTNESS: throughput vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: Throughput},
+		Figure{ID: "ext-delivery-upl", Title: "ROBUSTNESS: uplink cost vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: UplinkPerQuery},
 		Figure{ID: "ext-chaos-thr", Title: "ROBUSTNESS: throughput vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: Throughput},
 		Figure{ID: "ext-chaos-upl", Title: "ROBUSTNESS: uplink cost vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: UplinkPerQuery},
 		Figure{ID: "ext-overload-thr", Title: "ROBUSTNESS: goodput vs offered load past saturation", Sweep: ExtensionSweeps["ext-overload"], Metric: Throughput},

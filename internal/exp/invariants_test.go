@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mobicache/internal/core"
+	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/faults"
 	"mobicache/internal/overload"
@@ -75,15 +76,24 @@ func randomConfig(src *rng.Source) engine.Config {
 			c.Faults.CrashMTTR = 20 + 80*src.Float64()
 		}
 	}
+	if src.Bool(0.4) { // delivery adversary on: must ride a recovery path
+		c.Delivery = delivery.Severity(0.5 + 3.5*src.Float64())
+		if !c.Faults.Retry.Enabled() && c.Overload.QueryDeadline <= 0 {
+			c.Faults.Retry = faults.RetryPolicy{
+				Timeout: 60, Backoff: 2, MaxDelay: 960, Jitter: 0.1, MaxAttempts: 6,
+			}
+		}
+	}
 	return c
 }
 
 // describe compresses a config into the line printed on failure, enough
 // to reconstruct the case by eye (the seed reconstructs it exactly).
 func describe(c engine.Config) string {
-	return fmt.Sprintf("scheme=%s wl=%s probdisc=%.2f meandisc=%.0f update=%.0f overload=%v faults=%v crash=%v",
+	return fmt.Sprintf("scheme=%s wl=%s probdisc=%.2f meandisc=%.0f update=%.0f overload=%v faults=%v crash=%v delivery=%v",
 		c.Scheme, c.Workload.Name, c.ProbDisc, c.MeanDisc, c.MeanUpdate,
-		c.Overload.Enabled(), c.Faults.DownLoss != faults.GEParams{}, c.Faults.CrashMTBF > 0)
+		c.Overload.Enabled(), c.Faults.DownLoss != faults.GEParams{}, c.Faults.CrashMTBF > 0,
+		c.Delivery.Enabled())
 }
 
 // TestSimulationInvariants is the randomized property suite: across a
@@ -112,6 +122,55 @@ func TestSimulationInvariants(t *testing.T) {
 				r.QueriesTimedOut, r.QueriesShed, r.QueriesInFlight, got)
 		}
 		checkNonNegative(t, i, describe(c), r)
+	}
+}
+
+// TestCompoundChaosInvariants forces all three adversarial layers on at
+// once — delivery perturbation, Gilbert–Elliott loss on both channels,
+// and tight overload caps — across every scheme. The layers compose
+// (delivery wraps inside the GE verdict; overload shedding races the
+// retry policy), and under the full stack the two global invariants must
+// still hold: zero stale reads and exact query accounting.
+func TestCompoundChaosInvariants(t *testing.T) {
+	for _, scheme := range core.Names() {
+		c := engine.Default()
+		c.Scheme = scheme
+		c.SimTime = 2000
+		c.ConsistencyCheck = true
+		c.ProbDisc = 0.2
+		c.MeanDisc = 300
+		c.Delivery = delivery.Severity(3)
+		c.Faults.DownLoss = faults.GEParams{
+			PGoodBad: 0.1, PBadGood: 0.4, LossGood: 0.02, LossBad: 0.4,
+			CorruptGood: 0.005, CorruptBad: 0.05,
+		}
+		c.Faults.UpLoss = faults.GEParams{
+			PGoodBad: 0.05, PBadGood: 0.5, LossGood: 0.01, LossBad: 0.3,
+		}
+		c.Faults.Retry = faults.RetryPolicy{
+			Timeout: 120, Backoff: 2, MaxDelay: 1920, Jitter: 0.2, MaxAttempts: 6,
+		}
+		c.Overload = overload.Config{
+			QueryDeadline: 300, UpQueueCap: 6, DownQueueCap: 6,
+			ServerPendingCap: 12, Coalesce: true,
+		}
+		r, err := engine.Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if r.ConsistencyViolations != 0 {
+			t.Errorf("%s: %d stale reads under compound chaos; first: %v",
+				scheme, r.ConsistencyViolations, r.FirstViolation)
+		}
+		if got := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight; got != r.QueriesIssued {
+			t.Errorf("%s: accounting identity broken: issued=%d answered=%d + timedout=%d + shed=%d + inflight=%d = %d",
+				scheme, r.QueriesIssued, r.QueriesAnswered,
+				r.QueriesTimedOut, r.QueriesShed, r.QueriesInFlight, got)
+		}
+		if r.DeliveryDelayed == 0 && r.DeliveryDups == 0 && r.Partitions == 0 {
+			t.Errorf("%s: delivery adversary idle under severity 3", scheme)
+		}
+		checkNonNegative(t, 0, scheme, r)
 	}
 }
 

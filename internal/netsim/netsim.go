@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 
+	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
 	"mobicache/internal/metrics"
 	"mobicache/internal/sim"
@@ -75,6 +76,7 @@ type Channel struct {
 
 	ge      *faults.GE
 	onFault func(class Class, v faults.Verdict)
+	adv     *delivery.Link
 }
 
 // NewChannel creates a channel with the given bandwidth in bits/second.
@@ -108,6 +110,15 @@ func (c *Channel) SetFaults(ge *faults.GE, onFault func(class Class, v faults.Ve
 	c.ge = ge
 	c.onFault = onFault
 }
+
+// SetDelivery installs an adversarial-delivery link consulted after every
+// surviving transmission: the message's delivery callback runs through
+// the link's partition/jitter/reorder/duplication machinery instead of
+// firing directly. Ordering composes with SetFaults: the Gilbert–Elliott
+// verdict destroys the message on the channel first; only delivered
+// messages reach the adversary. Pass nil to remove; a channel without a
+// link behaves exactly as before, consuming no randomness.
+func (c *Channel) SetDelivery(l *delivery.Link) { c.adv = l }
 
 // SetQueueCap bounds the number of waiting data and control messages; a
 // send that would exceed the cap is tail-dropped at admission (Send
@@ -158,7 +169,13 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
 	c.bits[class] += bits
 	c.messages[class]++
 	onDone := onDelivered
+	if c.adv != nil && onDone != nil {
+		delivered := onDone
+		//lint:allow hotalloc adversary wrapper exists only past admission on an armed channel; its cost amortizes into the transfer time it wraps
+		onDone = func() { c.adv.Deliver(delivered) }
+	}
 	if c.ge != nil {
+		admitted := onDone
 		//lint:allow hotalloc fault-model wrapper exists only past admission; its cost amortizes into the transfer time it wraps
 		onDone = func() {
 			if v := c.ge.Next(); v != faults.Deliver {
@@ -168,8 +185,8 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
 				}
 				return
 			}
-			if onDelivered != nil {
-				onDelivered()
+			if admitted != nil {
+				admitted()
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"testing"
 
 	"mobicache/internal/bitio"
@@ -138,5 +139,77 @@ func TestMaxSizeBSRoundTrip(t *testing.T) {
 	w := bitio.NewWriter()
 	if err := CorruptDecode(rep, p, w); err == nil {
 		t.Fatal("truncated max-size BS report decoded cleanly")
+	}
+}
+
+// TestSeqHeaderEdgeRoundTrips drives the broadcast sequence number in the
+// frame header through its boundary values on every report kind: zero,
+// the wraparound edge (MaxUint32, whose successor is 0), and the
+// mid-range sign-flip edge of the serial-number comparison (1<<31). Each
+// must survive the wire exactly — the client fence compares raw deltas,
+// so one corrupted high bit would misread a duplicate as a 2^31 gap.
+func TestSeqHeaderEdgeRoundTrips(t *testing.T) {
+	p := params()
+	reps := func() []Report {
+		return []Report{
+			&TSReport{T: 500, Entries: []db.UpdateEntry{{ID: 7, TS: 499}}},
+			&ATReport{T: 500, IDs: []int32{4, 8}},
+			&BSReport{T: 500, S: bitseq.Build(p.N, db.New(p.N, false))},
+			&SIGReport{T: 500, Sigs: []uint64{0xdead, 0xbeef}, SigBits: 16},
+		}
+	}
+	for _, seq := range []uint32{0, 1, 1<<31 - 1, 1 << 31, math.MaxUint32} {
+		for _, rep := range reps() {
+			SetSeq(rep, seq)
+			got := roundTrip(t, p, rep)
+			if SeqOf(got) != seq {
+				t.Fatalf("%s: seq %d became %d across the wire", rep.Kind(), seq, SeqOf(got))
+			}
+			// A truncated frame must reject, not deliver a garbled header.
+			w := bitio.NewWriter()
+			if err := CorruptDecode(rep, p, w); err == nil {
+				t.Fatalf("%s seq=%d: truncated frame decoded cleanly", rep.Kind(), seq)
+			}
+		}
+	}
+}
+
+// TestSeqDeltaWraparound pins the RFC 1982-style serial arithmetic the
+// client fence runs on: the successor of MaxUint32 is 0, and a report
+// from "one period ago" stays a reorder even across the wrap.
+func TestSeqDeltaWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want int32
+	}{
+		{5, 5, 0},                           // duplicate
+		{6, 5, 1},                           // clean successor
+		{9, 5, 4},                           // gap of 3 missed reports
+		{4, 5, -1},                          // reorder
+		{0, math.MaxUint32, 1},              // successor across the wrap
+		{math.MaxUint32, 0, -1},             // reorder across the wrap
+		{3, math.MaxUint32 - 1, 5},          // gap across the wrap
+		{math.MaxUint32, math.MaxUint32, 0}, // duplicate at the edge
+	}
+	for _, tc := range cases {
+		if got := SeqDelta(tc.a, tc.b); got != tc.want {
+			t.Fatalf("SeqDelta(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestTruncatedHeaderRejected: frames cut inside the header itself — mid
+// kind tag, mid sequence number, before the marker flag — must all
+// reject. Decode may not fabricate a report from a partial header.
+func TestTruncatedHeaderRejected(t *testing.T) {
+	p := params()
+	rep := &TSReport{T: 500, Entries: []db.UpdateEntry{{ID: 7, TS: 499}}}
+	SetSeq(rep, math.MaxUint32)
+	w := bitio.NewWriter()
+	Encode(rep, p, w)
+	for _, bits := range []int{0, 1, kindTagBits, kindTagBits + 1, kindTagBits + seqBits - 1, kindTagBits + seqBits} {
+		if _, err := Decode(p, bitio.NewReader(w.Bytes(), bits)); err == nil {
+			t.Fatalf("frame truncated to %d bits decoded cleanly", bits)
+		}
 	}
 }

@@ -144,6 +144,8 @@ type TSReport struct {
 	// Marker, when non-nil, is the recovery-epoch announcement of a
 	// restarted server (see RecoveryMarker).
 	Marker *RecoveryMarker
+	// Seq is the broadcast sequence number (frame header; see SeqOf).
+	Seq uint32
 }
 
 // DummyRecord is AAW's in-band window-enlargement marker: a reserved id
@@ -185,6 +187,8 @@ type BSReport struct {
 	// Marker, when non-nil, is a restarted server's recovery-epoch
 	// announcement.
 	Marker *RecoveryMarker
+	// Seq is the broadcast sequence number (frame header; see SeqOf).
+	Seq uint32
 }
 
 // Kind implements Report.
@@ -211,6 +215,8 @@ type ATReport struct {
 	// Marker, when non-nil, is a restarted server's recovery-epoch
 	// announcement.
 	Marker *RecoveryMarker
+	// Seq is the broadcast sequence number (frame header; see SeqOf).
+	Seq uint32
 }
 
 // Kind implements Report.
@@ -330,10 +336,13 @@ func ApplyRecovery(r Report, m RecoveryMarker) {
 }
 
 // Framing overheads added by the self-describing codecs on top of the
-// analytic sizes: a kind tag, a marker-present flag, and, where needed,
-// an element count.
+// analytic sizes: a kind tag, a broadcast sequence number, a
+// marker-present flag, and, where needed, an element count. The sequence
+// number is framing — it is not part of the paper's analytic size model,
+// so SizeBits (which drives the channel cost accounting) is unaffected.
 const (
 	kindTagBits    = 3
+	seqBits        = 32
 	markerFlagBits = 1
 	countBits      = 24
 )
@@ -342,23 +351,69 @@ const (
 func FramingBits(k Kind) int {
 	switch k {
 	case KindTS, KindTSExt, KindAT:
-		return kindTagBits + markerFlagBits + countBits
+		return kindTagBits + seqBits + markerFlagBits + countBits
 	case KindSIG:
-		return kindTagBits + markerFlagBits + countBits + 8 // + the signature width field
+		return kindTagBits + seqBits + markerFlagBits + countBits + 8 // + the signature width field
 	case KindBS:
-		return kindTagBits + markerFlagBits
+		return kindTagBits + seqBits + markerFlagBits
 	default:
-		return kindTagBits + markerFlagBits
+		return kindTagBits + seqBits + markerFlagBits
 	}
 }
 
+// SeqOf returns the broadcast sequence number carried in r's frame
+// header. Every invalidation-report kind carries one; the server assigns
+// them monotonically per broadcast so clients can fence against
+// duplicated, reordered, and gapped deliveries (see SeqDelta).
+func SeqOf(r Report) uint32 {
+	switch m := r.(type) {
+	case *TSReport:
+		return m.Seq
+	case *BSReport:
+		return m.Seq
+	case *ATReport:
+		return m.Seq
+	case *SIGReport:
+		return m.Seq
+	default:
+		panic(fmt.Sprintf("report: no sequence number on %T", r))
+	}
+}
+
+// SetSeq stamps the broadcast sequence number into r's frame header.
+func SetSeq(r Report, seq uint32) {
+	switch m := r.(type) {
+	case *TSReport:
+		m.Seq = seq
+	case *BSReport:
+		m.Seq = seq
+	case *ATReport:
+		m.Seq = seq
+	case *SIGReport:
+		m.Seq = seq
+	default:
+		panic(fmt.Sprintf("report: no sequence number on %T", r))
+	}
+}
+
+// SeqDelta returns how far sequence number a is ahead of b under
+// serial-number arithmetic (RFC 1982 style): the fixed-width field wraps,
+// so the signed difference of the raw values is the distance. A result of
+// 0 is a duplicate, a negative result an out-of-order (older) report, +1
+// the in-order successor, and anything larger a gap — correct across the
+// uint32 wraparound as long as fewer than 2^31 broadcasts separate the
+// two observations.
+func SeqDelta(a, b uint32) int32 { return int32(a - b) }
+
 // Encode serializes r with bit-exact field widths (timestamps are 64-bit
 // floats; use Params{TSBits: 64} for matching analytic sizes). The frame
-// header — kind tag, marker flag, optional marker — is common to every
-// kind and written here; the per-kind body follows.
+// header — kind tag, broadcast sequence number, marker flag, optional
+// marker — is common to every kind and written here; the per-kind body
+// follows.
 func Encode(r Report, p Params, w *bitio.Writer) {
 	idBits := p.IDBits()
 	w.WriteBits(uint64(r.Kind()), kindTagBits)
+	w.WriteBits(uint64(SeqOf(r)), seqBits)
 	marker := MarkerOf(r)
 	w.WriteBool(marker != nil)
 	if marker != nil {
@@ -405,6 +460,10 @@ func Decode(p Params, r *bitio.Reader) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	seq, err := r.ReadBits(seqBits)
+	if err != nil {
+		return nil, err
+	}
 	hasMarker, err := r.ReadBool()
 	if err != nil {
 		return nil, err
@@ -425,6 +484,7 @@ func Decode(p Params, r *bitio.Reader) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	SetSeq(rep, uint32(seq))
 	if marker != nil {
 		ApplyRecovery(rep, *marker)
 	}

@@ -18,6 +18,8 @@ type SIGReport struct {
 	// Marker, when non-nil, is a restarted server's recovery-epoch
 	// announcement.
 	Marker *RecoveryMarker
+	// Seq is the broadcast sequence number (frame header; see SeqOf).
+	Seq uint32
 }
 
 // Kind implements Report.

@@ -110,6 +110,11 @@ type Server struct {
 	pending  map[int32]*pendingFetch
 	pendingN int
 
+	// irSeq is the broadcast sequence counter stamped into every report's
+	// frame header. Monotonic across crashes: restart semantics are
+	// carried by the recovery marker, not by resetting the fence.
+	irSeq uint32
+
 	// Crash/restart state.
 	isDown     bool
 	epoch      int32   // recovery epochs announced so far (0 = never crashed)
@@ -337,6 +342,12 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 			s.IROverruns++
 		}
 		r := s.cfg.Scheme.BuildReport(s.db, t)
+		// Every report carries a monotonically increasing broadcast
+		// sequence number in its frame header; clients fence on it to
+		// detect gaps, duplicates, and reorders (DESIGN.md §13). A plain
+		// counter — no randomness, no events — so it is always on.
+		s.irSeq++
+		report.SetSeq(r, s.irSeq)
 		if s.epoch > 0 {
 			// Every report after the first crash announces the current
 			// epoch and trust floor; ApplyRecovery also censors any

@@ -74,6 +74,28 @@ const (
 	// admission. Client = -1, A = traffic class (netsim.Class), B = 0
 	// for the downlink, 1 for the uplink.
 	ChannelShed
+	// IRGap: a client's sequence fence detected missing broadcast(s)
+	// between the last report it processed and this one; the client takes
+	// the scheme's conservative long-disconnection path. A = sequence
+	// delta (how many broadcasts are missing + 1).
+	IRGap
+	// IRDuplicate: a client received a report with the sequence number it
+	// already processed and dropped it idempotently. A = sequence number.
+	IRDuplicate
+	// IRReorder: a client received a report older (by sequence) than one
+	// it already processed — delivered out of order beyond the window —
+	// and dropped it. A = negative sequence delta.
+	IRReorder
+	// PartitionStart: the adversarial delivery layer partitioned the cell.
+	// Client = -1, A = partition mode (0 downlink-only, 1 uplink-only,
+	// 2 full), B = scheduled heal time in microseconds.
+	PartitionStart
+	// PartitionHeal: a partition healed on schedule. A = partition mode.
+	PartitionHeal
+	// ClockSkewApplied: the delivery layer armed a client's clock-error
+	// model. A = constant offset in microseconds, B = drift in
+	// nanoseconds per simulated second.
+	ClockSkewApplied
 	numKinds
 )
 
@@ -122,6 +144,18 @@ func (k Kind) String() string {
 		return "server-busy"
 	case ChannelShed:
 		return "channel-shed"
+	case IRGap:
+		return "ir-gap"
+	case IRDuplicate:
+		return "ir-duplicate"
+	case IRReorder:
+		return "ir-reorder"
+	case PartitionStart:
+		return "partition-start"
+	case PartitionHeal:
+		return "partition-heal"
+	case ClockSkewApplied:
+		return "clock-skew"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"mobicache/internal/core"
+	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/exp"
 	"mobicache/internal/faults"
@@ -92,6 +93,21 @@ func Bernoulli(p float64) GEParams { return faults.Bernoulli(p) }
 // pending cap requires a recovery path (a query deadline or an uplink
 // retry policy), which Config.Validate enforces.
 type OverloadConfig = overload.Config
+
+// DeliveryConfig configures the adversarial delivery layer
+// (Config.Delivery): per-link delay jitter, bounded reordering,
+// duplication, asymmetric partitions with scheduled heal, and per-client
+// clock skew/drift with the staleness bound ε. The zero value perturbs
+// nothing and keeps seeded results bit-identical to unperturbed runs; an
+// enabled layer requires a recovery path (an uplink retry policy or a
+// query deadline), which Config.Validate enforces. See DESIGN.md §13 for
+// the sequence-fencing contract.
+type DeliveryConfig = delivery.Config
+
+// DeliverySeverity maps a scalar severity level (0 = off, 4 = hardest)
+// to a delivery configuration exercising every adversarial mechanism at
+// once; it parameterizes the ext-delivery robustness sweep.
+func DeliverySeverity(level float64) DeliveryConfig { return delivery.Severity(level) }
 
 // MetricsRegistry collects named instruments sampled once per broadcast
 // interval into a per-run timeline (Config.Metrics). Sampling rides the
