@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke bench par-bench cover mobilint clean
+.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke spans-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -71,6 +71,19 @@ obs-smoke:
 	head -1 results-obs/timeline.csv | grep -q '^t,' || (echo "bad timeline header" && exit 1)
 	test -s results-obs/events.jsonl || (echo "empty JSONL stream" && exit 1)
 	$(GO) run ./cmd/mobisim -from-manifest results-obs/run.json | grep -q 'replay verified'
+
+# Span/AoI smoke: one chaos run exporting per-query causal spans, the
+# file re-validated as Perfetto-loadable trace-event JSON, then the
+# ext-aoi sweep (all seven schemes, four fault levels) at a short
+# horizon. The sweep's own check fails the run on any stale read or a
+# span accounting identity that does not reconcile with the query
+# counters.
+spans-smoke:
+	rm -rf results-spans && mkdir -p results-spans
+	$(GO) run ./cmd/mobisim -scheme aaw -chaos 3 -simtime 4000 \
+		-spans results-spans/spans.json -manifest results-spans/run.json
+	$(GO) run ./cmd/mobisim -validate-spans results-spans/spans.json
+	$(GO) run ./cmd/experiments -figure ext-aoi -simtime 4000 -out results-spans
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

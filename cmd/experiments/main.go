@@ -104,6 +104,26 @@ func run(args []string) error {
 		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
 			return err
 		}
+		// Families that ran with the span/AoI layer armed additionally get
+		// the per-phase latency decomposition and AoI percentile tables.
+		sw, err := runner.RunSweep(f.Sweep)
+		if err != nil {
+			return err
+		}
+		if csv := sw.PhaseCSV(); csv != "" {
+			p := filepath.Join(*out, f.ID+"-phases.csv")
+			if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", p)
+		}
+		if csv := sw.AoICSV(); csv != "" {
+			p := filepath.Join(*out, f.ID+"-aoi.csv")
+			if err := os.WriteFile(p, []byte(csv), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", p)
+		}
 		fmt.Printf("wrote %s (%s)\n\n", path, time.Since(figStart).Round(time.Millisecond))
 	}
 	fmt.Printf("all done in %s; CSVs in %s%c\n", time.Since(start).Round(time.Second), *out, filepath.Separator)

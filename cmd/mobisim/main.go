@@ -27,10 +27,12 @@ import (
 	"mobicache/internal/core"
 	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
+	"mobicache/internal/exp"
 	"mobicache/internal/metrics"
 	"mobicache/internal/overload"
 	"mobicache/internal/parallel"
 	"mobicache/internal/rng"
+	"mobicache/internal/span"
 	"mobicache/internal/stats"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
@@ -83,6 +85,9 @@ func run(args []string, out *os.File) error {
 	pendingCap := fs.Int("server-pending-cap", 0, "bound the server's pending-fetch table; excess fetches get a busy reply (0 = unbounded)")
 	coalesce := fs.Bool("coalesce", false, "merge concurrent fetches of one item into a single downlink transmission")
 	deliverySev := fs.Float64("delivery", 0, "adversarial delivery severity 0..4: jitter, reordering, duplication, partitions, clock skew (requires a recovery path, e.g. -query-deadline)")
+	chaos := fs.Float64("chaos", 0, "compound fault intensity 0..4: bursty loss/corruption on both channels plus server crashes, with the validated retry policy armed")
+	spansOut := fs.String("spans", "", "assemble per-query causal spans and write them to this file as Chrome trace-event JSON (Perfetto-loadable)")
+	validateSpans := fs.String("validate-spans", "", "validate the trace-event schema of an existing span file and exit")
 	seeds := fs.Int("seeds", 1, "replication count; N > 1 runs N seeds derived from -seed and averages them")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers for -seeds > 1 (results are identical at any setting)")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (for scripting)")
@@ -90,6 +95,20 @@ func run(args []string, out *os.File) error {
 
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *validateSpans != "" {
+		f, err := os.Open(*validateSpans)
+		if err != nil {
+			return err
+		}
+		n, err := span.ValidateTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "spans file OK: %d trace events\n", n)
+		return nil
 	}
 
 	var c engine.Config
@@ -134,10 +153,22 @@ func run(args []string, out *os.File) error {
 			Coalesce:         *coalesce,
 		}
 		c.Delivery = delivery.Severity(*deliverySev)
+		if *chaos > 0 {
+			c.Faults = exp.ChaosFaults(*chaos)
+		}
 		var err error
 		if c.Workload, err = workload.Parse(*wl, c.DBSize); err != nil {
 			return err
 		}
+	}
+	// -spans arms the assembly layer (in Keep mode, so the file has every
+	// span and phase segment); on a manifest replay the layer is already
+	// re-armed and this only upgrades it to Keep.
+	if *spansOut != "" {
+		if c.Spans == nil {
+			c.Spans = &engine.SpanOptions{}
+		}
+		c.Spans.Keep = true
 	}
 
 	if *seeds > 1 {
@@ -154,6 +185,7 @@ func run(args []string, out *os.File) error {
 			{"trace-jsonl", *traceJSONL != ""},
 			{"cpuprofile", *cpuProfile != ""},
 			{"memprofile", *memProfile != ""},
+			{"spans", *spansOut != ""},
 		}
 		for _, f := range incompatible {
 			if f.set {
@@ -242,6 +274,19 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		if err := reg.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		if err := r.Spans.WriteTrace(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -373,6 +418,13 @@ type jsonResults struct {
 	DeliveryReorders int64 `json:"delivery_reorders"`
 	DeliveryDups     int64 `json:"delivery_dups"`
 
+	Spans      *span.Summary `json:"spans,omitempty"`
+	AoISamples int64         `json:"aoi_samples,omitempty"`
+	AoIMean    float64       `json:"aoi_mean_s,omitempty"`
+	AoIP50     float64       `json:"aoi_p50_s,omitempty"`
+	AoIP95     float64       `json:"aoi_p95_s,omitempty"`
+	AoIP99     float64       `json:"aoi_p99_s,omitempty"`
+
 	MeasuredTime          float64 `json:"measured_time_s"`
 	Events                uint64  `json:"events"`
 	PeakEventQueue        int     `json:"peak_event_queue"`
@@ -463,6 +515,13 @@ func toJSONResults(r *engine.Results) jsonResults {
 		DeliveryDelayed:  r.DeliveryDelayed,
 		DeliveryReorders: r.DeliveryReorders,
 		DeliveryDups:     r.DeliveryDups,
+
+		Spans:      r.Spans,
+		AoISamples: r.AoISamples,
+		AoIMean:    r.AoIMean,
+		AoIP50:     r.AoIP50,
+		AoIP95:     r.AoIP95,
+		AoIP99:     r.AoIP99,
 
 		MeasuredTime:          r.MeasuredTime,
 		Events:                r.Events,
@@ -573,6 +632,17 @@ func printResults(out *os.File, r *engine.Results, verbose bool) {
 		if r.Config.ConsistencyCheck {
 			fmt.Fprintf(out, "consistency violations:  %d\n", r.ConsistencyViolations)
 		}
+	}
+	if s := r.Spans; s != nil {
+		fmt.Fprintf(out, "spans (ans/to/shed/open): %d / %d / %d / %d (anomalies %d, residual %.2g s)\n",
+			s.Answered, s.TimedOut, s.Shed, s.Open, s.Anomalies, s.MaxResidual)
+		fmt.Fprintf(out, "span latency p50 / p95:  %.1f / %.1f s\n", s.TotalP50, s.TotalP95)
+		for p := 0; p < int(span.NumPhases); p++ {
+			fmt.Fprintf(out, "  %-12s p50 %8.2f s   p95 %8.2f s   mean %8.2f s\n",
+				s.PhaseName[p], s.PhaseP50[p], s.PhaseP95[p], s.PhaseMean[p])
+		}
+		fmt.Fprintf(out, "answer AoI mean/p50/p95/p99: %.1f / %.1f / %.1f / %.1f s (%d samples)\n",
+			r.AoIMean, r.AoIP50, r.AoIP95, r.AoIP99, r.AoISamples)
 	}
 }
 

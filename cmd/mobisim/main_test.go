@@ -308,3 +308,63 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatalf("measured %v != simtime %v with no warmup", v.MeasuredTime, v.SimTime)
 	}
 }
+
+// TestSpansFlow exercises the -spans pipeline end to end: a chaos run
+// writes a Perfetto-loadable span file, -validate-spans accepts it, the
+// summary block appears in the text output, and the flag refuses to
+// combine with replication mode.
+func TestSpansFlow(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "spans.json")
+	out, err := runCapture(t, "-scheme", "aaw", "-simtime", "2000",
+		"-chaos", "2", "-spans", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spans (ans/to/shed/open):", "ir_wait", "answer AoI"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	vout, err := runCapture(t, "-validate-spans", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vout, "spans file OK:") {
+		t.Fatalf("validation output: %s", vout)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"no":"events"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCapture(t, "-validate-spans", bad); err == nil {
+		t.Fatal("-validate-spans accepted a schema-less file")
+	}
+
+	if _, err := runCapture(t, "-simtime", "2000", "-seeds", "2", "-spans", file); err == nil {
+		t.Fatal("-spans combined with -seeds > 1")
+	}
+}
+
+// TestSpansJSONCarriesSummary pins the -json view of the span layer.
+func TestSpansJSONCarriesSummary(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runCapture(t, "-simtime", "2000",
+		"-spans", filepath.Join(dir, "s.json"), "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	dec.DisallowUnknownFields()
+	var v jsonResults
+	if err := dec.Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Spans == nil || v.Spans.Answered == 0 {
+		t.Fatalf("span summary missing from -json: %+v", v.Spans)
+	}
+	if v.AoISamples == 0 || v.AoIP95 < v.AoIP50 {
+		t.Fatalf("AoI fields implausible: %+v", v)
+	}
+}

@@ -18,7 +18,7 @@ import (
 
 // codecPkgs are the package-path suffixes whose error returns must not be
 // dropped.
-var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report", "internal/delivery"}
+var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report", "internal/delivery", "internal/span"}
 
 // shedPkgs are the package-path suffixes whose boolean admission verdicts
 // must not be dropped. A bounded channel's Send returns false when the
@@ -30,10 +30,10 @@ var shedPkgs = []string{"internal/netsim"}
 var Analyzer = &framework.Analyzer{
 	Name: "errcheck-sim",
 	Doc: "flag dropped errors from internal/bitio, internal/bitseq, " +
-		"internal/report and internal/delivery calls (codec and config " +
-		"validation), and dropped bounded-channel admission verdicts from " +
-		"internal/netsim; codec failures, rejected configs and shed sends " +
-		"must surface, not corrupt figures",
+		"internal/report, internal/delivery and internal/span calls (codec, " +
+		"config validation and span export), and dropped bounded-channel " +
+		"admission verdicts from internal/netsim; codec failures, rejected " +
+		"configs and shed sends must surface, not corrupt figures",
 	Run: run,
 }
 

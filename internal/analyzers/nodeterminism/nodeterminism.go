@@ -31,6 +31,7 @@ var Restricted = []string{
 	"internal/metrics",
 	"internal/overload",
 	"internal/parallel",
+	"internal/span",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

@@ -73,6 +73,13 @@ type Config struct {
 	// RespHist, if set, receives every query response time (shared across
 	// clients by the engine for percentile reporting).
 	RespHist *stats.Histogram
+	// AoIHist, if set, receives an age-of-information sample for every
+	// item a query answers: answer instant minus the server's last update
+	// of that item (shared across clients by the engine; wired only when
+	// span/AoI observability is enabled, so legacy runs skip the
+	// accounting entirely). Items never updated during the run (version
+	// 0) have no generation timestamp and are excluded.
+	AoIHist *stats.Histogram
 	// Tracer records protocol events when non-nil.
 	Tracer *trace.Tracer
 	// Metrics, when non-nil, receives per-event observations into the
@@ -181,6 +188,26 @@ type Client struct {
 	ValidationUplinkMsgs int64
 	FetchUplinkBits      float64
 	StaleValidityDropped int64
+	AoISamples           int64
+	AoISum               float64
+}
+
+// observeAoI records one answered item's age-of-information sample: the
+// gap between the instant the item's value reaches the application
+// (validation for cache hits, delivery for fetches) and the server's
+// last update of that item. The zero-stale invariant makes the served
+// copy's timestamp exactly that last update. Version-0 items were never
+// updated and have no generation timestamp, so they carry no sample.
+// Pure accounting: no events, no randomness, no-op unless the engine
+// wired an AoI histogram (span/AoI observability enabled).
+func (c *Client) observeAoI(age float64, version int32) {
+	if version == 0 || c.cfg.AoIHist == nil {
+		return
+	}
+	c.AoISamples++
+	c.AoISum += age
+	c.cfg.AoIHist.Observe(age)
+	c.cfg.Metrics.aoi(age)
 }
 
 // New creates a client; Start launches its process.
@@ -338,8 +365,12 @@ func (c *Client) DeliverValidity(v *report.ValidityReport, now sim.Time) {
 	if !c.connected || !c.st.AwaitingValidity {
 		// The exchange was abandoned (disconnection mid-check).
 		c.StaleValidityDropped++
+		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValidityDelivered,
+			Client: c.cfg.ID, A: 1})
 		return
 	}
+	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValidityDelivered,
+		Client: c.cfg.ID})
 	c.handleOutcome(c.cfg.Side.HandleValidity(c.st, v, now), now)
 }
 
@@ -378,6 +409,9 @@ func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) 
 		delete(c.fetchWant, id)
 	}
 	if c.pending > 0 {
+		// The item answers the open query: its value reaches the
+		// application now, so this is its AoI observation instant.
+		c.observeAoI(now-ts, version)
 		c.pending--
 		if c.pending == 0 {
 			c.fetchSig.Broadcast()
@@ -407,7 +441,15 @@ func (c *Client) handleOutcome(out core.Outcome, now sim.Time) {
 		// the channel's own). Recovery needs no extra machinery: the
 		// control timeout below or the query deadline abandons the
 		// exchange and the next broadcast report regenerates it.
-		admitted := c.up.Send(netsim.ClassControl, bits, func() {
+		var onTx func(sim.Time)
+		if c.cfg.Tracer.Enabled(trace.UplinkTxStart) {
+			exch := kindArg + 1 // UplinkTxStart encoding: 1 check, 2 feedback
+			onTx = func(t sim.Time) {
+				c.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
+					Client: c.cfg.ID, A: exch})
+			}
+		}
+		admitted := c.up.SendObserved(netsim.ClassControl, bits, onTx, func() {
 			if isFeedback {
 				c.st.FeedbackDeliveredAt = c.k.Now()
 			}
@@ -561,11 +603,17 @@ func (c *Client) answer(p *sim.Proc, tq sim.Time) {
 			if c.cfg.ConsistencyHook != nil {
 				c.cfg.ConsistencyHook(c.cfg.ID, id, e.Version, c.st.Tlb)
 			}
+			// A cache hit's value reaches the application the instant
+			// validation completes.
+			c.observeAoI(p.Now()-e.TS, e.Version)
 		} else {
 			c.missIDs = append(c.missIDs, id)
 		}
 	}
 	c.ItemsRequested += int64(len(c.missIDs))
+	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.QueryValidated,
+		Client: c.cfg.ID, A: int64(len(c.queryIDs) - len(c.missIDs)),
+		B: int64(len(c.missIDs))})
 	if len(c.missIDs) > 0 {
 		c.pending = len(c.missIDs)
 		c.fetchSeq++
@@ -653,11 +701,20 @@ func (c *Client) sendFetch(attempt int) bool {
 			ids = append(ids, id)
 		}
 	}
-	admitted := c.up.Send(netsim.ClassData, c.cfg.FetchRequestBits, func() {
+	var onTx func(sim.Time)
+	if c.cfg.Tracer.Enabled(trace.UplinkTxStart) {
+		onTx = func(t sim.Time) {
+			c.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
+				Client: c.cfg.ID, A: 0})
+		}
+	}
+	admitted := c.up.SendObserved(netsim.ClassData, c.cfg.FetchRequestBits, onTx, func() {
 		c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
 	})
 	if admitted {
 		c.FetchUplinkBits += c.cfg.FetchRequestBits
+		c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.FetchSent,
+			Client: c.cfg.ID, A: int64(len(ids)), B: int64(attempt)})
 	}
 	if !c.cfg.Retry.Enabled() {
 		return admitted
@@ -703,6 +760,8 @@ func (c *Client) ResetStats() {
 	c.ValidationUplinkMsgs = 0
 	c.FetchUplinkBits = 0
 	c.StaleValidityDropped = 0
+	c.AoISamples = 0
+	c.AoISum = 0
 	c.st.Cache.ResetStats()
 	c.st.Drops = 0
 	c.st.Salvages = 0

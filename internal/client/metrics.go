@@ -33,6 +33,16 @@ type Metrics struct {
 	IRGaps       *metrics.Counter
 	IRDuplicates *metrics.Counter
 	IRReorders   *metrics.Counter
+	// AoI observes each answered item's age of information (wired only
+	// when span/AoI observability is enabled).
+	AoI *metrics.Histogram
+}
+
+func (m *Metrics) aoi(age float64) {
+	if m == nil {
+		return
+	}
+	m.AoI.Observe(age)
 }
 
 func (m *Metrics) deadlineMiss() {

@@ -174,8 +174,8 @@ func TestDeliverySkewGuardTrips(t *testing.T) {
 	}
 }
 
-// TestManifestCarriesDelivery pins schema v3: the delivery block rides
-// the manifest and replays into an identical engine config.
+// TestManifestCarriesDelivery pins the manifest schema: the delivery
+// block rides the manifest and replays into an identical engine config.
 func TestManifestCarriesDelivery(t *testing.T) {
 	c := short()
 	c.Scheme = "bs"
@@ -183,8 +183,8 @@ func TestManifestCarriesDelivery(t *testing.T) {
 	c.Faults.Retry = chaosRetry()
 	r := mustRun(t, c)
 	m := NewManifest(r)
-	if m.SchemaVersion != 3 {
-		t.Fatalf("manifest schema %d, want 3", m.SchemaVersion)
+	if m.SchemaVersion != 4 {
+		t.Fatalf("manifest schema %d, want 4", m.SchemaVersion)
 	}
 	rc, err := m.EngineConfig()
 	if err != nil {

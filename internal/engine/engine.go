@@ -20,6 +20,7 @@ import (
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
 	"mobicache/internal/sim"
+	"mobicache/internal/span"
 	"mobicache/internal/stats"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
@@ -127,6 +128,25 @@ type Config struct {
 	// recovery path (Faults.Retry or Overload.QueryDeadline); Validate
 	// enforces it.
 	Delivery delivery.Config
+	// Spans arms the causal-span and age-of-information observability
+	// layer: a span.Assembler rides the trace stream as a sink (created
+	// internally, chained behind any user-supplied sink), folding each
+	// query's events into one terminal span with a phase-decomposed
+	// latency, and every answered item contributes an AoI sample
+	// (answer instant minus the item's last server update). Assembly is
+	// a pure fold — no kernel events, no randomness — so nil (disabled)
+	// leaves results bit-identical to builds without the layer (pinned
+	// by TestSpanFreeResultsUnchanged), and an enabled run's digest
+	// equals its own disabled twin's.
+	Spans *SpanOptions
+}
+
+// SpanOptions configures the span/AoI layer (Config.Spans).
+type SpanOptions struct {
+	// Keep retains every assembled span and its phase segments for
+	// Chrome trace-event export (Results.Spans.WriteTrace, cmd/mobisim
+	// -spans); off, only the summary digest is kept.
+	Keep bool
 }
 
 // Default returns Table 1's settings with the UNIFORM workload: 100
@@ -320,6 +340,18 @@ type Results struct {
 	// MeasuredTime is the span statistics cover (SimTime - Warmup).
 	MeasuredTime float64
 
+	// Span/AoI observability (nil and zero unless Config.Spans is set).
+	// Spans is the assembled span digest: terminal-outcome counts
+	// satisfying the accounting identity, per-phase latency percentiles,
+	// and (Keep mode) the raw spans for export. The AoI fields summarize
+	// answer age-of-information: for every answered item, the answer
+	// instant minus the server's last update of that item (version-0
+	// items, never updated, carry no sample).
+	Spans                  *span.Summary
+	AoISamples             int64
+	AoIMean                float64
+	AoIP50, AoIP95, AoIP99 float64
+
 	// Engine health.
 	Events uint64
 	// PeakEventQueue is the calendar-queue high-water mark — the kernel's
@@ -348,6 +380,36 @@ func Run(c Config) (*Results, error) {
 			TSBits:     c.TSBits,
 			HeaderBits: c.HeaderBits,
 		},
+	}
+
+	// Span/AoI observability: the assembler rides the trace stream as a
+	// sink, so it must be wired before the server and clients capture
+	// c.Trace. With no user-supplied tracer, a minimal one (capacity 1,
+	// restricted to the kinds the fold consumes) is created as a pure
+	// conduit; a user-supplied tracer must already record every kind the
+	// assembler needs, or the phase accounting would silently miss
+	// transitions.
+	var asm *span.Assembler
+	var aoiHist *stats.Histogram
+	if c.Spans != nil {
+		asm = span.New(span.Options{
+			Clients: c.Clients,
+			Horizon: c.SimTime,
+			Warmup:  c.Warmup,
+			Keep:    c.Spans.Keep,
+		})
+		if c.Trace == nil {
+			c.Trace = trace.New(1).Only(span.EventKinds()...)
+		} else {
+			for _, kind := range span.EventKinds() {
+				if !c.Trace.Enabled(kind) {
+					return nil, fmt.Errorf("engine: Spans requires trace kind %q enabled on the supplied tracer", kind)
+				}
+			}
+		}
+		c.Trace.AddSink(asm)
+		asm.RegisterMetrics(c.Metrics, 0, 4*c.MeanThink+40*c.Period)
+		aoiHist = stats.NewHistogram(0, c.SimTime, 2048)
 	}
 
 	k := sim.New()
@@ -475,6 +537,7 @@ func Run(c Config) (*Results, error) {
 			FetchRequestBits: c.ControlMsgBits,
 			ConsistencyHook:  hook,
 			RespHist:         respHist,
+			AoIHist:          aoiHist,
 			Tracer:           c.Trace,
 			Metrics:          clMetrics,
 			ReportLossProb:   c.ReportLossProb,
@@ -523,6 +586,9 @@ func Run(c Config) (*Results, error) {
 			up.ResetStats()
 			adv.ResetStats()
 			*respHist = *stats.NewHistogram(respHist.Lo, respHist.Hi, respHist.Bins())
+			if aoiHist != nil {
+				*aoiHist = *stats.NewHistogram(aoiHist.Lo, aoiHist.Hi, aoiHist.Bins())
+			}
 			res.UplinkMsgsLost = 0
 			res.UplinkMsgsCorrupted = 0
 			// Restart the batch-means sampler from the warmed-up state.
@@ -537,7 +603,10 @@ func Run(c Config) (*Results, error) {
 
 	// Collect.
 	var resp stats.Tally
+	var aoiSum float64
 	for _, cl := range clients {
+		res.AoISamples += cl.AoISamples
+		aoiSum += cl.AoISum
 		res.QueriesAnswered += cl.QueriesAnswered
 		res.QueriesIssued += cl.QueriesIssued
 		res.QueriesTimedOut += cl.QueriesTimedOut
@@ -623,6 +692,15 @@ func Run(c Config) (*Results, error) {
 	res.RespP50 = respHist.Quantile(0.50)
 	res.RespP95 = respHist.Quantile(0.95)
 	res.RespP99 = respHist.Quantile(0.99)
+	if asm != nil {
+		res.Spans = asm.Finalize(c.SimTime)
+		if res.AoISamples > 0 {
+			res.AoIMean = aoiSum / float64(res.AoISamples)
+		}
+		res.AoIP50 = aoiHist.Quantile(0.50)
+		res.AoIP95 = aoiHist.Quantile(0.95)
+		res.AoIP99 = aoiHist.Quantile(0.99)
+	}
 	res.Events = k.Executed()
 	res.PeakEventQueue = k.MaxPending()
 	return res, nil

@@ -18,8 +18,11 @@ import (
 // (older manifests decode with a zero Overload, which is exactly the
 // disabled layer, so replay stays faithful); 3 = added the delivery
 // block (same zero-value-is-disabled property, so v1/v2 manifests
-// replay unchanged).
-const ManifestSchemaVersion = 3
+// replay unchanged); 4 = added the span/AoI observability block
+// (spans_enabled re-arms the layer on replay and span_terminal/aoi_p95
+// join the digest; older manifests decode with the layer off, which is
+// bit-identical to how they ran, so replay stays faithful).
+const ManifestSchemaVersion = 4
 
 // Manifest is the reproducibility record of one run: every knob needed
 // to re-execute it bit-identically (scheme, workload, seed, all Config
@@ -59,12 +62,22 @@ type Manifest struct {
 	Faults           faults.Config   `json:"faults"`
 	Overload         overload.Config `json:"overload"`
 	Delivery         delivery.Config `json:"delivery"`
+	// SpansEnabled records whether the span/AoI observability layer was
+	// armed (Config.Spans != nil). Replay re-arms it so the span digest
+	// fields below can be verified; assembly draws no randomness, so the
+	// core digest is identical either way.
+	SpansEnabled bool `json:"spans_enabled,omitempty"`
 
 	// Result digest: enough to verify that a replay reproduced the run.
 	QueriesAnswered    int64   `json:"queries_answered"`
 	HitRatio           float64 `json:"hit_ratio"`
 	UplinkBitsPerQuery float64 `json:"uplink_bits_per_query"`
 	Events             uint64  `json:"events"`
+	// Span digest (zero unless SpansEnabled): terminal span count and the
+	// AoI 95th percentile, enough to catch a replay whose observability
+	// layer diverged even when the core counters agree.
+	SpanTerminal int64   `json:"span_terminal,omitempty"`
+	AoIP95       float64 `json:"aoi_p95,omitempty"`
 
 	// Kernel self-profile.
 	PeakEventQueue int `json:"peak_event_queue"`
@@ -79,7 +92,7 @@ type Manifest struct {
 // are left zero for the command layer to stamp.
 func NewManifest(r *Results) *Manifest {
 	c := r.Config
-	return &Manifest{
+	m := &Manifest{
 		SchemaVersion:      ManifestSchemaVersion,
 		GoVersion:          runtime.Version(),
 		Scheme:             c.Scheme,
@@ -114,6 +127,12 @@ func NewManifest(r *Results) *Manifest {
 		Events:             r.Events,
 		PeakEventQueue:     r.PeakEventQueue,
 	}
+	if c.Spans != nil && r.Spans != nil {
+		m.SpansEnabled = true
+		m.SpanTerminal = r.Spans.Terminal()
+		m.AoIP95 = r.AoIP95
+	}
+	return m
 }
 
 // Stamp fills the wall-clock profile from a measured duration in
@@ -137,7 +156,12 @@ func (m *Manifest) EngineConfig() (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	var spans *SpanOptions
+	if m.SpansEnabled {
+		spans = &SpanOptions{}
+	}
 	return Config{
+		Spans:            spans,
 		Scheme:           m.Scheme,
 		Clients:          m.Clients,
 		DBSize:           m.DBSize,
@@ -183,6 +207,20 @@ func (m *Manifest) VerifyReplay(r *Results) error {
 	case r.UplinkBitsPerQuery != m.UplinkBitsPerQuery:
 		return fmt.Errorf("engine: replay uplink bits/query %v, manifest records %v",
 			r.UplinkBitsPerQuery, m.UplinkBitsPerQuery)
+	}
+	if m.SpansEnabled {
+		var terminal int64
+		if r.Spans != nil {
+			terminal = r.Spans.Terminal()
+		}
+		if terminal != m.SpanTerminal {
+			return fmt.Errorf("engine: replay assembled %d terminal spans, manifest records %d",
+				terminal, m.SpanTerminal)
+		}
+		if r.AoIP95 != m.AoIP95 {
+			return fmt.Errorf("engine: replay AoI p95 %v, manifest records %v",
+				r.AoIP95, m.AoIP95)
+		}
 	}
 	return nil
 }

@@ -23,7 +23,15 @@ func newClientMetrics(reg *metrics.Registry, c Config) *client.Metrics {
 	if reg == nil {
 		return nil
 	}
+	// The AoI timeline column exists only when the span/AoI layer is armed:
+	// without it, clients never observe answer ages, and registering the
+	// histogram would add empty aoi_p* columns to every CSV.
+	var aoi *metrics.Histogram
+	if c.Spans != nil {
+		aoi = reg.Histogram("aoi", 0, c.SimTime, 512, 0.50, 0.95)
+	}
 	return &client.Metrics{
+		AoI:              aoi,
 		Queries:          reg.Counter("queries"),
 		Resp:             reg.Histogram("resp", 0, 4*c.MeanThink+40*c.Period, 512, 0.50, 0.95),
 		Retries:          reg.Counter("retries"),

@@ -32,6 +32,10 @@ const (
 	Throughput Metric = iota
 	// UplinkPerQuery is "Uplink Communication Cost Per Query (bits/query)".
 	UplinkPerQuery
+	// AoIP95 is the 95th-percentile answer age of information in seconds
+	// (extension figures only; requires the run's span/AoI layer armed,
+	// zero otherwise).
+	AoIP95
 )
 
 // String names the metric as the paper's axis label.
@@ -41,6 +45,8 @@ func (m Metric) String() string {
 		return "No. of Queries Answered"
 	case UplinkPerQuery:
 		return "Uplink Cost Per Query (bits/query)"
+	case AoIP95:
+		return "Answer Age of Information p95 (s)"
 	default:
 		return "metric(?)"
 	}
@@ -52,6 +58,8 @@ func (m Metric) extract(r *engine.Results) float64 {
 		return float64(r.QueriesAnswered)
 	case UplinkPerQuery:
 		return r.UplinkBitsPerQuery
+	case AoIP95:
+		return r.AoIP95
 	default:
 		panic("exp: unknown metric")
 	}
@@ -460,6 +468,15 @@ func (r *Runner) RunFigure(f Figure) (*FigureTable, error) {
 				row[scheme] = cell.Throughput
 			case UplinkPerQuery:
 				row[scheme] = cell.Uplink
+			default:
+				// Metrics beyond the two precomputed paper axes are
+				// seed-averaged on demand; observation follows Runs
+				// order (grid order), so the mean is deterministic.
+				var tl stats.Tally
+				for _, run := range cell.Runs {
+					tl.Observe(f.Metric.extract(run))
+				}
+				row[scheme] = tl.Mean()
 			}
 		}
 		t.Values[x] = row

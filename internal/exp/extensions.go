@@ -197,6 +197,37 @@ func deliveryCheck(r *engine.Results) error {
 	return nil
 }
 
+// aoiCheck is the ext-aoi acceptance bar, applied to every run at every
+// chaos level: zero stale reads, the PR 4 query accounting identity, the
+// span accounting identity (every issued query assembled into exactly
+// one terminal span whose outcome matches the client counters), and a
+// phase decomposition that sums to the total latency within float
+// tolerance.
+func aoiCheck(r *engine.Results) error {
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("aoi: %s served %d stale read(s); first: %v",
+			r.Config.Scheme, r.ConsistencyViolations, r.FirstViolation)
+	}
+	balance := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight
+	if r.QueriesIssued != balance {
+		return fmt.Errorf("aoi: %s accounting identity broken: issued=%d != answered=%d + timed_out=%d + shed=%d + in_flight=%d",
+			r.Config.Scheme, r.QueriesIssued, r.QueriesAnswered, r.QueriesTimedOut,
+			r.QueriesShed, r.QueriesInFlight)
+	}
+	if r.Spans == nil {
+		return fmt.Errorf("aoi: %s run carried no span summary", r.Config.Scheme)
+	}
+	if err := r.Spans.Identity(r.QueriesIssued, r.QueriesAnswered,
+		r.QueriesTimedOut, r.QueriesShed, r.QueriesInFlight); err != nil {
+		return fmt.Errorf("aoi: %s: %w", r.Config.Scheme, err)
+	}
+	if r.Spans.MaxResidual > 1e-6 {
+		return fmt.Errorf("aoi: %s phase decomposition residual %g s exceeds tolerance",
+			r.Config.Scheme, r.Spans.MaxResidual)
+	}
+	return nil
+}
+
 func init() {
 	// Chaos robustness sweep: compound bursty loss + corruption + server
 	// crash/restart, jointly scaled by the chaos level, for all seven
@@ -268,7 +299,30 @@ func init() {
 		},
 		Check: deliveryCheck,
 	}
+	// Observability sweep: the span/AoI layer armed for all seven schemes
+	// across the chaos ladder, with the stale-read checker on and both
+	// accounting identities enforced on every run. Warmup is zero so the
+	// span ledger and the client counters describe the same population
+	// (a query terminating exactly at a warmup boundary could otherwise
+	// land on different sides of the two resets).
+	ExtensionSweeps["ext-aoi"] = &Sweep{
+		ID: "ext-aoi", XLabel: "Chaos Level (burst loss x crash rate)",
+		Xs:      []float64{0, 1, 2, 3},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ProbDisc = 0.1
+			c.MeanDisc = 400
+			c.Warmup = 0
+			c.ConsistencyCheck = true
+			c.Faults = ChaosFaults(x)
+			c.Spans = &engine.SpanOptions{}
+			return c
+		},
+		Check: aoiCheck,
+	}
 	Extensions = append(Extensions,
+		Figure{ID: "ext-aoi", Title: "OBSERVABILITY: answer AoI p95 vs compound fault intensity", Sweep: ExtensionSweeps["ext-aoi"], Metric: AoIP95},
 		Figure{ID: "ext-delivery-thr", Title: "ROBUSTNESS: throughput vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: Throughput},
 		Figure{ID: "ext-delivery-upl", Title: "ROBUSTNESS: uplink cost vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: UplinkPerQuery},
 		Figure{ID: "ext-chaos-thr", Title: "ROBUSTNESS: throughput vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: Throughput},

@@ -1,0 +1,96 @@
+// Span-derived sweep exports: per-scheme latency phase decomposition
+// and answer age-of-information percentiles, rendered as CSV beside the
+// figure tables. Both are empty strings when the family ran without the
+// span/AoI layer, so cmd/experiments can emit them unconditionally and
+// write files only for families that carry the data.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"mobicache/internal/span"
+	"mobicache/internal/stats"
+)
+
+// HasSpans reports whether the executed family carried span summaries
+// (the sweep's Configure armed engine.Config.Spans).
+func (sr *SweepResult) HasSpans() bool {
+	for _, byScheme := range sr.Cells {
+		for _, cell := range byScheme {
+			for _, run := range cell.Runs {
+				if run.Spans != nil {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// PhaseCSV renders the per-scheme latency decomposition: one row per
+// (sweep point, scheme, phase) with seed-averaged p50, p95 and mean
+// phase durations in seconds. Empty when the family has no spans.
+func (sr *SweepResult) PhaseCSV() string {
+	if !sr.HasSpans() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("x,scheme,phase,p50_s,p95_s,mean_s\n")
+	for _, x := range sr.Sweep.Xs {
+		for _, scheme := range sr.Schemes {
+			cell := sr.Cells[x][scheme]
+			for p := 0; p < int(span.NumPhases); p++ {
+				var p50, p95, mean stats.Tally
+				for _, run := range cell.Runs {
+					if run.Spans == nil {
+						continue
+					}
+					p50.Observe(run.Spans.PhaseP50[p])
+					p95.Observe(run.Spans.PhaseP95[p])
+					mean.Observe(run.Spans.PhaseMean[p])
+				}
+				if p50.N() == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%g,%s,%s,%.6f,%.6f,%.6f\n",
+					x, scheme, span.Phase(p), p50.Mean(), p95.Mean(), mean.Mean())
+			}
+		}
+	}
+	return b.String()
+}
+
+// AoICSV renders the per-scheme answer age-of-information summary: one
+// row per (sweep point, scheme) with the seed-averaged sample count,
+// mean, and p50/p95/p99 ages in seconds. Empty when the family has no
+// spans.
+func (sr *SweepResult) AoICSV() string {
+	if !sr.HasSpans() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("x,scheme,aoi_samples,aoi_mean_s,aoi_p50_s,aoi_p95_s,aoi_p99_s\n")
+	for _, x := range sr.Sweep.Xs {
+		for _, scheme := range sr.Schemes {
+			cell := sr.Cells[x][scheme]
+			var n, mean, p50, p95, p99 stats.Tally
+			for _, run := range cell.Runs {
+				if run.Spans == nil {
+					continue
+				}
+				n.Observe(float64(run.AoISamples))
+				mean.Observe(run.AoIMean)
+				p50.Observe(run.AoIP50)
+				p95.Observe(run.AoIP95)
+				p99.Observe(run.AoIP99)
+			}
+			if n.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%g,%s,%.1f,%.6f,%.6f,%.6f,%.6f\n",
+				x, scheme, n.Mean(), mean.Mean(), p50.Mean(), p95.Mean(), p99.Mean())
+		}
+	}
+	return b.String()
+}

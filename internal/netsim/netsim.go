@@ -150,8 +150,23 @@ func (c *Channel) SetShedHook(fn func(class Class)) { c.onShed = fn }
 //
 //hot path: one call per simulated message; the shed fast path is
 // 0 allocs/op (pinned by BenchmarkChannelBoundedShed). Admitted sends
-// may allocate — see the //lint:allow rationales below.
+// may allocate — see the //lint:allow rationales in SendObserved.
 func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
+	return c.SendObserved(class, bits, nil, onDelivered)
+}
+
+// SendObserved is Send with a transmission-start observer: onTxStart, if
+// not nil, fires exactly once, at the simulated instant the message's
+// first bit goes on the air (queueing over, transmission begun) — a
+// preempted-and-resumed message does not re-fire it. The observer is a
+// pure tap on the facility's existing service-start hook: it adds no
+// kernel events and draws no randomness, so a send with a nil observer
+// is bit-identical to Send. Span assembly uses it to separate the
+// queueing phase from the transmit phase.
+//
+//hot path shared with Send; the shed fast path stays 0 allocs/op, and
+// the admitted path's allocations carry //lint:allow rationales.
+func (c *Channel) SendObserved(class Class, bits float64, onTxStart func(sim.Time), onDelivered func()) bool {
 	if bits < 0 {
 		panic("netsim: negative message size")
 	}
@@ -197,7 +212,8 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
 		Duration: bits / c.bw,
 		OnDone:   onDone,
 	}
-	if c.queueCap > 0 && class != ClassReport && waits {
+	trackWait := c.queueCap > 0 && class != ClassReport && waits
+	if trackWait {
 		// Track the waiting population exactly: admitted-while-busy
 		// increments, first service start decrements. OnStart fires again
 		// if the message is preempted and later resumed, hence the guard.
@@ -205,12 +221,20 @@ func (c *Channel) Send(class Class, bits float64, onDelivered func()) bool {
 		if c.lowWait > c.maxLowWait {
 			c.maxLowWait = c.lowWait
 		}
+	}
+	if trackWait || onTxStart != nil {
 		started := false
-		//lint:allow hotalloc wait-tracking hook exists only for queued (already-slow) sends, never on the shed fast path
-		req.OnStart = func(sim.Time) {
-			if !started {
-				started = true
+		//lint:allow hotalloc start hook exists only for queued sends or when a caller asked to observe tx start, never on the shed fast path
+		req.OnStart = func(t sim.Time) {
+			if started {
+				return
+			}
+			started = true
+			if trackWait {
 				c.lowWait--
+			}
+			if onTxStart != nil {
+				onTxStart(t)
 			}
 		}
 	}

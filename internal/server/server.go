@@ -391,6 +391,20 @@ func (s *Server) broadcastLoop(p *sim.Proc) {
 // OnControl is the uplink endpoint for validation messages; the channel
 // layer calls it when a client's control message finishes transmission.
 func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
+	if s.cfg.Tracer.Enabled(trace.ControlArrived) {
+		from, kindArg := int32(-1), int64(0)
+		if msg.Feedback != nil {
+			from, kindArg = msg.Feedback.Client, 1
+		} else if msg.Check != nil {
+			from = msg.Check.Client
+		}
+		dropped := int64(0)
+		if s.isDown {
+			dropped = 1
+		}
+		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ControlArrived,
+			Client: from, A: kindArg, B: dropped})
+	}
 	if s.isDown {
 		// Nobody is listening; the client's timeout/backoff recovers.
 		s.DroppedWhileDown++
@@ -410,8 +424,15 @@ func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
 	}
 	bits := float64(v.SizeBits(s.cfg.Params.Rep))
 	s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValiditySent,
-		Client: -1, B: int64(bits)})
-	if !s.down.Send(netsim.ClassControl, bits, func() {
+		Client: v.Client, B: int64(bits)})
+	var onTx func(sim.Time)
+	if s.cfg.Tracer.Enabled(trace.ValidityTxStart) {
+		onTx = func(t sim.Time) {
+			s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ValidityTxStart,
+				Client: v.Client})
+		}
+	}
+	if !s.down.SendObserved(netsim.ClassControl, bits, onTx, func() {
 		rc.DeliverValidity(v, s.k.Now())
 	}) {
 		// Tail-dropped by a bounded downlink: the client's control timeout
@@ -428,6 +449,14 @@ func (s *Server) OnControl(msg *core.ControlMsg, now sim.Time) {
 // pending-fetch table instead (admitFetch); otherwise this legacy path
 // runs byte-for-byte as before.
 func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
+	if s.cfg.Tracer.Enabled(trace.FetchArrived) {
+		dropped := int64(0)
+		if s.isDown {
+			dropped = 1
+		}
+		s.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FetchArrived,
+			Client: clientID, A: int64(len(ids)), B: dropped})
+	}
 	if s.isDown {
 		s.DroppedWhileDown++
 		return
@@ -442,7 +471,14 @@ func (s *Server) OnFetch(clientID int32, ids []int32, now sim.Time) {
 			s.admitFetch(rc, id, now)
 			continue
 		}
-		if !s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
+		var onTx func(sim.Time)
+		if s.cfg.Tracer.Enabled(trace.ItemTxStart) {
+			onTx = func(t sim.Time) {
+				s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ItemTxStart,
+					Client: clientID, A: int64(id)})
+			}
+		}
+		if !s.down.SendObserved(netsim.ClassData, s.cfg.ItemBits, onTx, func() {
 			s.ItemsServed++
 			ts := s.db.LastUpdate(id)
 			if ts < 0 {
@@ -476,7 +512,17 @@ func (s *Server) admitFetch(rc Receiver, id int32, now sim.Time) {
 	p := &pendingFetch{waiters: []Receiver{rc}, epoch: s.epoch}
 	s.pending[id] = p
 	s.pendingN++
-	if !s.down.Send(netsim.ClassData, s.cfg.ItemBits, func() {
+	var onTx func(sim.Time)
+	if s.cfg.Tracer.Enabled(trace.ItemTxStart) {
+		// Attributed to the requester of record (the admitting client);
+		// waiters coalesced on later share the service phase and get no
+		// transmission stamp of their own.
+		onTx = func(t sim.Time) {
+			s.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.ItemTxStart,
+				Client: rc.ID(), A: int64(id)})
+		}
+	}
+	if !s.down.SendObserved(netsim.ClassData, s.cfg.ItemBits, onTx, func() {
 		// Identity- and epoch-guarded teardown: a later fetch of the same
 		// id (no coalescing) or a crash may have replaced or cleared the
 		// entry, and post-crash completions must not decrement the new

@@ -1,0 +1,116 @@
+// Chrome trace-event export: assembled spans render as a Perfetto- and
+// chrome://tracing-loadable JSON document. Each client is a track (tid),
+// each span a complete ("X") slice, and each phase segment a nested
+// slice starting inside it. The writer appends bytes with strconv only
+// — identical spans always serialize to identical bytes, which is what
+// the replay determinism golden pins.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTrace renders the summary's retained spans and segments (Keep
+// mode) as trace-event JSON. Timestamps and durations are microseconds
+// of simulated time, formatted with three decimals. The output is a
+// pure function of the spans: deterministic byte-for-byte.
+func (s *Summary) WriteTrace(w io.Writer) error {
+	buf := make([]byte, 0, 256)
+	if _, err := io.WriteString(w,
+		`{"displayTimeUnit":"ms","traceEvents":[`+"\n"+
+			`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mobicache cell"}}`); err != nil {
+		return err
+	}
+	for i := range s.Spans {
+		sp := &s.Spans[i]
+		buf = buf[:0]
+		buf = append(buf, ",\n"...)
+		buf = append(buf, `{"name":"query","cat":"query","ph":"X","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Client), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendUS(buf, sp.Start)
+		buf = append(buf, `,"dur":`...)
+		buf = appendUS(buf, sp.End-sp.Start)
+		buf = append(buf, `,"args":{"index":`...)
+		buf = strconv.AppendInt(buf, sp.Index, 10)
+		buf = append(buf, `,"outcome":"`...)
+		buf = append(buf, sp.Outcome.String()...)
+		buf = append(buf, `","items":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Items), 10)
+		buf = append(buf, `,"hits":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Hits), 10)
+		buf = append(buf, `,"misses":`...)
+		buf = strconv.AppendInt(buf, int64(sp.Misses), 10)
+		buf = append(buf, `}}`...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range s.Segments {
+		sg := &s.Segments[i]
+		buf = buf[:0]
+		buf = append(buf, ",\n"...)
+		buf = append(buf, `{"name":"`...)
+		buf = append(buf, sg.Phase.String()...)
+		buf = append(buf, `","cat":"phase","ph":"X","pid":0,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(sg.Client), 10)
+		buf = append(buf, `,"ts":`...)
+		buf = appendUS(buf, sg.Start)
+		buf = append(buf, `,"dur":`...)
+		buf = appendUS(buf, sg.End-sg.Start)
+		buf = append(buf, `}`...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// appendUS appends simulated seconds as microseconds with fixed
+// three-decimal formatting (deterministic, nanosecond-grain).
+func appendUS(b []byte, seconds float64) []byte {
+	return strconv.AppendFloat(b, seconds*1e6, 'f', 3, 64)
+}
+
+// ValidateTrace parses r as trace-event JSON and checks the schema
+// Perfetto requires: a traceEvents array whose members carry name and
+// ph, with complete ("X") events also carrying pid, tid, ts, and a
+// non-negative dur. It returns the event count.
+func ValidateTrace(r io.Reader) (int, error) {
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("span: trace file is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("span: trace file has no traceEvents array")
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return 0, fmt.Errorf("span: traceEvents[%d] missing name or ph", i)
+		}
+		if e.Ph == "X" {
+			if e.Pid == nil || e.Tid == nil || e.Ts == nil || e.Dur == nil {
+				return 0, fmt.Errorf("span: complete event traceEvents[%d] missing pid/tid/ts/dur", i)
+			}
+			if *e.Dur < 0 {
+				return 0, fmt.Errorf("span: traceEvents[%d] has negative dur %g", i, *e.Dur)
+			}
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

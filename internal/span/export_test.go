@@ -1,0 +1,73 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobicache/internal/trace"
+)
+
+func keptSummary(t *testing.T) *Summary {
+	t.Helper()
+	a := New(Options{Clients: 2, Horizon: 1000, Keep: true})
+	feed(t, a, missQuery(0, 0))
+	feed(t, a, missQuery(1, 3))
+	feed(t, a, []trace.Event{
+		ev(trace.QueryStart, 0, 50, 0, 1),
+		ev(trace.QueryDeadline, 0, 130, 0, 0),
+	})
+	return a.Finalize(1000)
+}
+
+func TestWriteTraceDeterministicAndValid(t *testing.T) {
+	s := keptSummary(t)
+	var one, two bytes.Buffer
+	if err := s.WriteTrace(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteTrace(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("WriteTrace output not deterministic")
+	}
+	n, err := ValidateTrace(bytes.NewReader(one.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 metadata event + 3 spans + one slice per retained segment.
+	want := 1 + len(s.Spans) + len(s.Segments)
+	if n != want {
+		t.Fatalf("validated %d events, want %d", n, want)
+	}
+	out := one.String()
+	for _, frag := range []string{
+		`"displayTimeUnit":"ms"`, `"cat":"query"`, `"cat":"phase"`,
+		`"outcome":"answered"`, `"outcome":"timed_out"`,
+		`"name":"ir_wait"`, `"name":"up_tx"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("trace JSON missing %s:\n%s", frag, out)
+		}
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not-json":          `{"traceEvents":`,
+		"no-array":          `{"displayTimeUnit":"ms"}`,
+		"missing-name":      `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`,
+		"missing-ts":        `{"traceEvents":[{"name":"q","ph":"X","pid":0,"tid":0,"dur":1}]}`,
+		"negative-duration": `{"traceEvents":[{"name":"q","ph":"X","pid":0,"tid":0,"ts":1,"dur":-4}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateTrace(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	if _, err := ValidateTrace(strings.NewReader(
+		`{"traceEvents":[{"name":"m","ph":"M"}]}`)); err != nil {
+		t.Fatalf("metadata-only document rejected: %v", err)
+	}
+}

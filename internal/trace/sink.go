@@ -31,6 +31,45 @@ func (t *Tracer) SetSink(s Sink) *Tracer {
 	return t
 }
 
+// AddSink attaches s alongside any sink already present: the existing
+// sink keeps receiving every event, and s receives them too, in
+// attachment order. With no prior sink it behaves like SetSink. This is
+// how a span assembler chains behind a user-supplied JSONL export
+// without either consumer losing events. No-op on a nil tracer or a nil
+// sink.
+func (t *Tracer) AddSink(s Sink) *Tracer {
+	if t == nil || s == nil {
+		return t
+	}
+	if t.sink == nil {
+		return t.SetSink(s)
+	}
+	if m, ok := t.sink.(*MultiSink); ok {
+		m.sinks = append(m.sinks, s)
+		return t
+	}
+	return t.SetSink(&MultiSink{sinks: []Sink{t.sink, s}})
+}
+
+// MultiSink fans every event out to an ordered list of sinks, stopping
+// at (and returning) the first write error.
+type MultiSink struct {
+	sinks []Sink
+}
+
+// NewMultiSink creates a sink forwarding to each of sinks in order.
+func NewMultiSink(sinks ...Sink) *MultiSink { return &MultiSink{sinks: sinks} }
+
+// Write implements Sink.
+func (m *MultiSink) Write(e Event) error {
+	for _, s := range m.sinks {
+		if err := s.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SinkErr reports the first error the attached sink returned, if any.
 // After an error the sink receives no further events.
 func (t *Tracer) SinkErr() error {

@@ -25,7 +25,8 @@ const (
 	// ControlSent: a client queued a validation message uplink.
 	// A = 0 for a check request, 1 for Tlb feedback; B = size in bits.
 	ControlSent
-	// ValiditySent: the server answered a check. B = size in bits.
+	// ValiditySent: the server answered a check. Client = the addressee,
+	// B = size in bits.
 	ValiditySent
 	// ItemDelivered: a fetched item reached its client. A = item id.
 	ItemDelivered
@@ -96,6 +97,41 @@ const (
 	// model. A = constant offset in microseconds, B = drift in
 	// nanoseconds per simulated second.
 	ClockSkewApplied
+	// QueryValidated: a query's cache contents passed validation (the
+	// client's Tlb caught up to the query instant), so the answer phase
+	// begins. A = items answered from cache, B = items still missing
+	// (the fetch the client is about to issue; 0 means a pure cache hit
+	// and QueryDone follows immediately).
+	QueryValidated
+	// FetchSent: a fetch request was admitted onto the uplink queue.
+	// Recorded once per attempt, so retries re-stamp the uplink-queue
+	// phase. A = item count, B = attempt number (0 = first send).
+	FetchSent
+	// UplinkTxStart: the uplink actually began transmitting a client's
+	// message (queueing ended, transmission started). A = exchange
+	// (0 fetch, 1 check, 2 feedback), mirroring RetryAttempt's encoding.
+	// Preemptive-resume restarts re-stamp; span assembly keeps the first.
+	UplinkTxStart
+	// FetchArrived: a fetch request reached the server. Client =
+	// requester, A = item count, B = 1 when the server was crashed and
+	// dropped it (the request still spent its uplink time).
+	FetchArrived
+	// ControlArrived: a validation message reached the server. Client =
+	// sender, A = 0 for a check request, 1 for Tlb feedback, B = 1 when
+	// the server was crashed and dropped it.
+	ControlArrived
+	// ValidityTxStart: the downlink began transmitting a validity reply.
+	// Client = addressee.
+	ValidityTxStart
+	// ItemTxStart: the downlink began transmitting a fetched item.
+	// Client = the requester of record (first waiter; clients coalesced
+	// onto the same pending transmission get no ItemTxStart and keep
+	// accruing server time — they share one service phase). A = item id.
+	ItemTxStart
+	// ValidityDelivered: a validity reply reached its client. A = 0 when
+	// the client was awaiting it, 1 when it arrived stale (the exchange
+	// had been abandoned or the client sleeps) and was dropped.
+	ValidityDelivered
 	numKinds
 )
 
@@ -156,6 +192,22 @@ func (k Kind) String() string {
 		return "partition-heal"
 	case ClockSkewApplied:
 		return "clock-skew"
+	case QueryValidated:
+		return "query-validated"
+	case FetchSent:
+		return "fetch-sent"
+	case UplinkTxStart:
+		return "uplink-tx-start"
+	case FetchArrived:
+		return "fetch-arrived"
+	case ControlArrived:
+		return "control-arrived"
+	case ValidityTxStart:
+		return "validity-tx-start"
+	case ItemTxStart:
+		return "item-tx-start"
+	case ValidityDelivered:
+		return "validity-delivered"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -191,7 +243,7 @@ type Tracer struct {
 	limit  int
 	total  uint64
 	counts [numKinds]uint64
-	mask   uint32
+	mask   uint64
 
 	sink    Sink
 	sinkErr error
@@ -214,27 +266,27 @@ func New(capacity int) *Tracer {
 	if pre > ringPrealloc {
 		pre = ringPrealloc
 	}
-	return &Tracer{buf: make([]Event, 0, pre), limit: capacity, mask: 1<<numKinds - 1}
+	return &Tracer{buf: make([]Event, 0, pre), limit: capacity, mask: 1<<uint64(numKinds) - 1}
 }
 
 // Only restricts recording to the given kinds and returns the tracer.
 func (t *Tracer) Only(kinds ...Kind) *Tracer {
 	t.mask = 0
 	for _, k := range kinds {
-		t.mask |= 1 << k
+		t.mask |= 1 << uint64(k)
 	}
 	return t
 }
 
 // Enabled reports whether events of kind k are recorded.
 func (t *Tracer) Enabled(k Kind) bool {
-	return t != nil && t.mask&(1<<k) != 0
+	return t != nil && t.mask&(1<<uint64(k)) != 0
 }
 
 // Record stores an event (dropping the oldest when full) and forwards it
 // to the attached sink, if any. No-op on nil.
 func (t *Tracer) Record(e Event) {
-	if t == nil || t.mask&(1<<e.Kind) == 0 {
+	if t == nil || t.mask&(1<<uint64(e.Kind)) == 0 {
 		return
 	}
 	t.total++

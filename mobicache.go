@@ -30,6 +30,7 @@ import (
 	"mobicache/internal/metrics"
 	"mobicache/internal/multicell"
 	"mobicache/internal/overload"
+	"mobicache/internal/span"
 	"mobicache/internal/trace"
 	"mobicache/internal/workload"
 )
@@ -131,6 +132,25 @@ func NewTracer(n int) *Tracer { return trace.New(n) }
 // per line; install it with Tracer.SetSink for lossless export beyond
 // the retained ring.
 func NewJSONLTraceSink(w io.Writer) trace.Sink { return trace.NewJSONLSink(w) }
+
+// SpanOptions arms the per-query causal-span and age-of-information
+// observability layer (Config.Spans): each issued query is assembled
+// into one terminal span with its latency decomposed into protocol
+// phases, and every answered item contributes an AoI sample. Assembly
+// is a pure fold over the trace stream — enabling it leaves seeded
+// results bit-identical. Keep mode retains every span for trace-event
+// export with SpanSummary.WriteTrace. See DESIGN.md §14.
+type SpanOptions = engine.SpanOptions
+
+// SpanSummary is the assembled span digest of a run (Results.Spans):
+// terminal-outcome counts, phase-decomposition percentiles, and — in
+// Keep mode — the raw spans, exportable as Perfetto-loadable
+// Chrome trace-event JSON via WriteTrace.
+type SpanSummary = span.Summary
+
+// ValidateSpanTrace checks that r parses as trace-event JSON with the
+// schema Perfetto requires, returning the event count.
+func ValidateSpanTrace(r io.Reader) (int, error) { return span.ValidateTrace(r) }
 
 // Manifest is the reproducibility record of one run: config, seed,
 // result digest, and the kernel's self-profile (see engine.Manifest).
