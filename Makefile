@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke spans-smoke bench par-bench cover mobilint clean
+.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke churn-smoke spans-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -40,6 +40,7 @@ lint-baseline: mobilint
 fuzz-smoke:
 	$(GO) test -run Fuzz -fuzz='Fuzz.*IR' -fuzztime=10s ./internal/core
 	$(GO) test -run Fuzz -fuzz=FuzzWorkloadParse -fuzztime=10s ./internal/workload
+	$(GO) test -run Fuzz -fuzz=FuzzDecodeSnapshot -fuzztime=10s ./internal/churn
 
 # Quick compound-fault pass: the ext-chaos sweep (bursty loss +
 # corruption + server crashes, all seven schemes) at a short horizon.
@@ -60,6 +61,14 @@ overload-smoke:
 # check fails the run on any stale read or broken accounting identity.
 delivery-smoke:
 	$(GO) run ./cmd/experiments -figure ext-delivery-thr -simtime 4000 -out results-delivery
+
+# Population-churn pass: the ext-churn sweep (mass-disconnect storms,
+# crash/restart with persisted-snapshot staleness/corruption faults,
+# paced resync at five severity levels, all seven schemes) at a short
+# horizon, with CSV artifacts in results-churn/. The sweep's own check
+# fails the run on any stale read or broken accounting identity.
+churn-smoke:
+	$(GO) run ./cmd/experiments -figure ext-churn-thr -simtime 4000 -out results-churn
 
 # Observability smoke: one instrumented run emitting all three artifacts
 # (metrics timeline, lossless JSONL event stream, run manifest), each

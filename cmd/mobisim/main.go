@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/core"
 	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
@@ -85,6 +86,7 @@ func run(args []string, out *os.File) error {
 	pendingCap := fs.Int("server-pending-cap", 0, "bound the server's pending-fetch table; excess fetches get a busy reply (0 = unbounded)")
 	coalesce := fs.Bool("coalesce", false, "merge concurrent fetches of one item into a single downlink transmission")
 	deliverySev := fs.Float64("delivery", 0, "adversarial delivery severity 0..4: jitter, reordering, duplication, partitions, clock skew (requires a recovery path, e.g. -query-deadline)")
+	churnSev := fs.Float64("churn", 0, "population churn severity 0..4: mass-disconnect storms, client crash/restart with persisted-snapshot faults, paced resync (requires a recovery path, e.g. -query-deadline)")
 	chaos := fs.Float64("chaos", 0, "compound fault intensity 0..4: bursty loss/corruption on both channels plus server crashes, with the validated retry policy armed")
 	spansOut := fs.String("spans", "", "assemble per-query causal spans and write them to this file as Chrome trace-event JSON (Perfetto-loadable)")
 	validateSpans := fs.String("validate-spans", "", "validate the trace-event schema of an existing span file and exit")
@@ -153,6 +155,7 @@ func run(args []string, out *os.File) error {
 			Coalesce:         *coalesce,
 		}
 		c.Delivery = delivery.Severity(*deliverySev)
+		c.Churn = churn.Severity(*churnSev)
 		if *chaos > 0 {
 			c.Faults = exp.ChaosFaults(*chaos)
 		}
@@ -418,6 +421,17 @@ type jsonResults struct {
 	DeliveryReorders int64 `json:"delivery_reorders"`
 	DeliveryDups     int64 `json:"delivery_dups"`
 
+	Storms           int64 `json:"storms"`
+	StormDisconnects int64 `json:"storm_disconnects"`
+	SoloDisconnects  int64 `json:"solo_disconnects"`
+	ClientCrashes    int64 `json:"client_crashes"`
+	RestartsWarm     int64 `json:"restarts_warm"`
+	RestartsCold     int64 `json:"restarts_cold"`
+	SnapshotRejects  int64 `json:"snapshot_rejects"`
+	CrashedAtEnd     int64 `json:"crashed_at_end"`
+	PacedResumes     int64 `json:"paced_resumes"`
+	OfflineDrops     int64 `json:"offline_drops"`
+
 	Spans      *span.Summary `json:"spans,omitempty"`
 	AoISamples int64         `json:"aoi_samples,omitempty"`
 	AoIMean    float64       `json:"aoi_mean_s,omitempty"`
@@ -515,6 +529,17 @@ func toJSONResults(r *engine.Results) jsonResults {
 		DeliveryDelayed:  r.DeliveryDelayed,
 		DeliveryReorders: r.DeliveryReorders,
 		DeliveryDups:     r.DeliveryDups,
+
+		Storms:           r.Storms,
+		StormDisconnects: r.StormDisconnects,
+		SoloDisconnects:  r.SoloDisconnects,
+		ClientCrashes:    r.ClientCrashes,
+		RestartsWarm:     r.RestartsWarm,
+		RestartsCold:     r.RestartsCold,
+		SnapshotRejects:  r.SnapshotRejects,
+		CrashedAtEnd:     r.CrashedAtEnd,
+		PacedResumes:     r.PacedResumes,
+		OfflineDrops:     r.OfflineDrops,
 
 		Spans:      r.Spans,
 		AoISamples: r.AoISamples,
@@ -627,6 +652,13 @@ func printResults(out *os.File, r *engine.Results, verbose bool) {
 				r.IRGaps, r.IRDuplicates, r.IRReorders, r.SkewDegrades)
 			fmt.Fprintf(out, "delivery adversary:      %d delayed (%d reordered), %d dups, %d partitions (%d drops)\n",
 				r.DeliveryDelayed, r.DeliveryReorders, r.DeliveryDups, r.Partitions, r.PartitionDrops)
+		}
+		if r.Config.Churn.Enabled() {
+			fmt.Fprintf(out, "churn storms:            %d (%d storm disc, %d solo, %d paced resumes)\n",
+				r.Storms, r.StormDisconnects, r.SoloDisconnects, r.PacedResumes)
+			fmt.Fprintf(out, "crash/restart:           %d crashes, %d warm / %d cold (%d snapshot rejects, %d down at end)\n",
+				r.ClientCrashes, r.RestartsWarm, r.RestartsCold, r.SnapshotRejects, r.CrashedAtEnd)
+			fmt.Fprintf(out, "offline downlink drops:  %d\n", r.OfflineDrops)
 		}
 		fmt.Fprintf(out, "simulated events:        %d (peak queue %d)\n", r.Events, r.PeakEventQueue)
 		if r.Config.ConsistencyCheck {

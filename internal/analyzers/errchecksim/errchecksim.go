@@ -18,7 +18,7 @@ import (
 
 // codecPkgs are the package-path suffixes whose error returns must not be
 // dropped.
-var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report", "internal/delivery", "internal/span"}
+var codecPkgs = []string{"internal/bitio", "internal/bitseq", "internal/report", "internal/delivery", "internal/span", "internal/churn"}
 
 // shedPkgs are the package-path suffixes whose boolean admission verdicts
 // must not be dropped. A bounded channel's Send returns false when the

@@ -37,8 +37,9 @@ import (
 // "Type.Method" or plain "Func". These are the paths whose allocs/op the
 // benchmark suite asserts to be zero (BenchmarkKernelEventThroughput,
 // BenchmarkKernelScheduleCancel, BenchmarkKernelProcSwitch,
-// BenchmarkChannelBoundedShed, BenchmarkDeliveryLinkDeliver) plus the
-// per-event instruments and the pooled bit writers that ride inside them.
+// BenchmarkChannelBoundedShed, BenchmarkDeliveryLinkDeliver,
+// BenchmarkChurnStormTick) plus the per-event instruments and the pooled
+// bit writers that ride inside them.
 var knownHot = map[string][]string{
 	"internal/sim": {
 		"Kernel.Schedule", "Kernel.At", "Kernel.Cancel", "Kernel.Step",
@@ -52,6 +53,9 @@ var knownHot = map[string][]string{
 	"internal/bitio": {
 		"Writer.WriteBits", "Writer.WriteBool", "Writer.WriteFloat",
 		"Reader.ReadBits", "Reader.ReadBool", "Reader.ReadFloat",
+	},
+	"internal/churn": {
+		"Adversary.stormTick", "Adversary.snapshot", "EncodeSnapshot",
 	},
 }
 

@@ -32,6 +32,7 @@ var Restricted = []string{
 	"internal/overload",
 	"internal/parallel",
 	"internal/span",
+	"internal/churn",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

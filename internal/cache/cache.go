@@ -205,6 +205,50 @@ func (c *Cache) Each(fn func(e Entry) bool) {
 	}
 }
 
+// Entries appends every cached entry, MRU first, to dst — the churn
+// layer's snapshot encoder walks it into the persisted bitstream. Like
+// IDs it allocates nothing beyond dst's growth, so callers reusing a
+// scratch slice pay zero steady-state allocations.
+func (c *Cache) Entries(dst []Entry) []Entry {
+	for s := c.head; s != nilSlot; s = c.slots[s].next {
+		dst = append(dst, c.slots[s])
+	}
+	return dst
+}
+
+// Reload replaces the cache contents with the given entries (MRU first),
+// reinstating a decoded snapshot at warm restart. Unlike DropAll + Put it
+// touches no statistics: a warm restore is a state transplant, not a
+// protocol-visible drop or a sequence of insertions. Entries beyond the
+// capacity or with duplicate ids are a caller bug (the snapshot codec
+// rejects both) and panic.
+func (c *Cache) Reload(entries []Entry) {
+	if len(entries) > c.cap {
+		panic("cache: reload beyond capacity")
+	}
+	for id := range c.index {
+		delete(c.index, id)
+	}
+	c.free = c.free[:0]
+	for i := c.cap - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	c.head, c.tail = nilSlot, nilSlot
+	// Insert LRU-first so the recency list ends MRU-first, matching the
+	// order the snapshot recorded.
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if _, dup := c.index[e.ID]; dup {
+			panic("cache: duplicate id in reload")
+		}
+		s := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.slots[s] = Entry{ID: e.ID, TS: e.TS, Version: e.Version, prev: nilSlot, next: nilSlot}
+		c.index[e.ID] = s
+		c.pushFront(s)
+	}
+}
+
 // IDs appends all cached item ids, MRU first, to dst.
 func (c *Cache) IDs(dst []int32) []int32 {
 	for s := c.head; s != nilSlot; s = c.slots[s].next {

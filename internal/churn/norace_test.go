@@ -1,0 +1,5 @@
+//go:build !race
+
+package churn
+
+const raceEnabled = false

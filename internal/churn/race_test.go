@@ -1,0 +1,8 @@
+//go:build race
+
+package churn
+
+// raceEnabled reports a race-detector build. Race-mode sync.Pool drops
+// Puts at random to widen interleaving coverage, so the pooled-writer
+// snapshot path legitimately allocates there; the alloc-free guard skips.
+const raceEnabled = true

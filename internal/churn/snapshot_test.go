@@ -1,0 +1,236 @@
+package churn
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"mobicache/internal/bitio"
+	"mobicache/internal/cache"
+)
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// encode packs s and returns the byte buffer and bit length.
+func encode(t testing.TB, s *Snapshot) ([]byte, int) {
+	t.Helper()
+	w := bitio.GetWriter()
+	defer bitio.PutWriter(w)
+	EncodeSnapshot(s, w)
+	buf := append([]byte(nil), w.Bytes()...)
+	return buf, w.Len()
+}
+
+func sampleSnapshot(n int) *Snapshot {
+	s := &Snapshot{Epoch: 3, PersistAt: 1234.5, Tlb: 1200.25}
+	for i := 0; i < n; i++ {
+		s.Entries = append(s.Entries, cache.Entry{
+			ID: int32(i * 7), TS: float64(i) * 1.5, Version: int32(i % 5),
+		})
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 16} { // empty, single item, max-size
+		s := sampleSnapshot(n)
+		buf, nbits := encode(t, s)
+		got, err := DecodeSnapshot(buf, nbits, 16)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Epoch != s.Epoch || got.PersistAt != s.PersistAt || got.Tlb != s.Tlb {
+			t.Fatalf("n=%d: header %+v, want %+v", n, got, s)
+		}
+		if len(got.Entries) != n {
+			t.Fatalf("n=%d: %d entries decoded", n, len(got.Entries))
+		}
+		for i := range got.Entries {
+			if got.Entries[i] != s.Entries[i] {
+				t.Fatalf("n=%d: entry %d = %+v, want %+v", n, i, got.Entries[i], s.Entries[i])
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsEveryBitFlip is the corruption guarantee behind
+// SnapshotCorruptProb: the CRC catches any single flipped bit, wherever
+// it lands — header, entry, padding, or the CRC itself.
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	s := sampleSnapshot(3)
+	buf, nbits := encode(t, s)
+	for bit := 0; bit < nbits; bit++ {
+		buf[bit/8] ^= 1 << (7 - bit%8)
+		if _, err := DecodeSnapshot(buf, nbits, 16); err == nil {
+			t.Fatalf("decode accepted a snapshot with bit %d flipped", bit)
+		}
+		buf[bit/8] ^= 1 << (7 - bit%8)
+	}
+	if _, err := DecodeSnapshot(buf, nbits, 16); err != nil {
+		t.Fatalf("pristine snapshot rejected after flip sweep: %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformedStreams(t *testing.T) {
+	good, nbits := encode(t, sampleSnapshot(2))
+	cases := []struct {
+		name string
+		make func() ([]byte, int)
+		want error
+	}{
+		{"empty", func() ([]byte, int) { return nil, 0 }, ErrSnapshotCorrupt},
+		{"truncated-header", func() ([]byte, int) { return good[:8], 64 }, ErrSnapshotCorrupt},
+		{"truncated-tail", func() ([]byte, int) { return good[:len(good)-1], nbits - 8 }, ErrSnapshotCorrupt},
+		{"non-byte-aligned", func() ([]byte, int) { return good, nbits - 3 }, ErrSnapshotCorrupt},
+		{"nbits-beyond-buffer", func() ([]byte, int) { return good, nbits + 64 }, ErrSnapshotCorrupt},
+		{"wrong-codec-epoch", func() ([]byte, int) {
+			w := bitio.GetWriter()
+			defer bitio.PutWriter(w)
+			w.WriteBits(snapMagic, magicBits)
+			w.WriteBits(SnapshotCodecEpoch+1, codecBits)
+			w.WriteBits(0, epochBits)
+			w.WriteFloat(0)
+			w.WriteFloat(0)
+			w.WriteBits(0, countBits)
+			if pad := (8 - w.Len()%8) % 8; pad > 0 {
+				w.WriteBits(0, pad)
+			}
+			w.WriteBits(uint64(crcOf(w.Bytes())), crcBits)
+			return append([]byte(nil), w.Bytes()...), w.Len()
+		}, ErrSnapshotEpoch},
+		{"bad-magic", func() ([]byte, int) {
+			return reencode(func(s *rawFields) { s.magic = 0xBEEF })
+		}, ErrSnapshotCorrupt},
+		{"count-beyond-capacity", func() ([]byte, int) {
+			return reencode(func(s *rawFields) { s.count = 17 })
+		}, ErrSnapshotCorrupt},
+		{"count-undersells-stream", func() ([]byte, int) {
+			return reencode(func(s *rawFields) { s.count = 1 })
+		}, ErrSnapshotCorrupt},
+		{"duplicate-ids", func() ([]byte, int) {
+			s := sampleSnapshot(2)
+			s.Entries[1].ID = s.Entries[0].ID
+			return encode(t, s)
+		}, ErrSnapshotCorrupt},
+		{"negative-id", func() ([]byte, int) {
+			s := sampleSnapshot(1)
+			s.Entries[0].ID = -5
+			return encode(t, s)
+		}, ErrSnapshotCorrupt},
+		{"nan-timestamp", func() ([]byte, int) {
+			s := sampleSnapshot(1)
+			s.Entries[0].TS = math.NaN()
+			return encode(t, s)
+		}, ErrSnapshotCorrupt},
+		{"inf-persist-at", func() ([]byte, int) {
+			s := sampleSnapshot(0)
+			s.PersistAt = math.Inf(1)
+			return encode(t, s)
+		}, ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		buf, n := tc.make()
+		got, err := DecodeSnapshot(buf, n, 16)
+		if err == nil {
+			t.Fatalf("%s: decode accepted %d entries", tc.name, len(got.Entries))
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// rawFields is the header of a two-entry sample snapshot, re-encoded
+// with a valid CRC so decode reaches structural validation.
+type rawFields struct {
+	magic uint64
+	count uint64
+}
+
+func reencode(mutate func(*rawFields)) ([]byte, int) {
+	r := &rawFields{magic: snapMagic, count: 2}
+	mutate(r)
+	s := sampleSnapshot(2)
+	w := bitio.GetWriter()
+	defer bitio.PutWriter(w)
+	w.WriteBits(r.magic, magicBits)
+	w.WriteBits(SnapshotCodecEpoch, codecBits)
+	w.WriteBits(uint64(uint32(s.Epoch)), epochBits)
+	w.WriteFloat(s.PersistAt)
+	w.WriteFloat(s.Tlb)
+	w.WriteBits(r.count, countBits)
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		w.WriteBits(uint64(uint32(e.ID)), idBits)
+		w.WriteFloat(e.TS)
+		w.WriteBits(uint64(uint32(e.Version)), versionBits)
+	}
+	if pad := (8 - w.Len()%8) % 8; pad > 0 {
+		w.WriteBits(0, pad)
+	}
+	w.WriteBits(uint64(crcOf(w.Bytes())), crcBits)
+	return append([]byte(nil), w.Bytes()...), w.Len()
+}
+
+func TestAdmitEnforcesTheTrustContract(t *testing.T) {
+	cfg := Config{SnapshotTTL: 100}
+	base := &Snapshot{Epoch: 1, PersistAt: 500, Tlb: 480}
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+		now    float64
+		want   error
+		reason int
+	}{
+		{"fresh", func(s *Snapshot) {}, 550, nil, 0},
+		{"at-ttl-boundary", func(s *Snapshot) {}, 600, nil, 0},
+		{"stale", func(s *Snapshot) {}, 601, ErrSnapshotStale, RejectStale},
+		{"from-the-future", func(s *Snapshot) {}, 499, ErrSnapshotInvalid, RejectInvalid},
+		{"tlb-after-persist", func(s *Snapshot) { s.Tlb = 501 }, 550, ErrSnapshotInvalid, RejectInvalid},
+		{"stale-wins-over-tlb", func(s *Snapshot) { s.Tlb = 501 }, 700, ErrSnapshotStale, RejectStale},
+	}
+	for _, tc := range cases {
+		s := *base
+		tc.mutate(&s)
+		err := cfg.Admit(&s, tc.now)
+		if (tc.want == nil) != (err == nil) || (err != nil && !errors.Is(err, tc.want)) {
+			t.Fatalf("%s: Admit = %v, want %v", tc.name, err, tc.want)
+		}
+		if err != nil && RejectReason(err) != tc.reason {
+			t.Fatalf("%s: reason %d, want %d", tc.name, RejectReason(err), tc.reason)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot hammers the decoder with arbitrary bytes: it must
+// never panic, and anything it does accept must re-encode to the exact
+// same bitstream (the codec is canonical).
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, n := range []int{0, 1, 3, 16} {
+		buf, _ := encode(f, sampleSnapshot(n))
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xCA, 0x5E, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data, len(data)*8, 16)
+		if err != nil {
+			return
+		}
+		if len(s.Entries) > 16 {
+			t.Fatalf("decode accepted %d entries beyond capacity 16", len(s.Entries))
+		}
+		w := bitio.GetWriter()
+		defer bitio.PutWriter(w)
+		EncodeSnapshot(s, w)
+		if w.Len() != len(data)*8 {
+			t.Fatalf("accepted stream is %d bits but canonical form is %d", len(data)*8, w.Len())
+		}
+		for i, b := range w.Bytes() {
+			if data[i] != b {
+				t.Fatalf("accepted stream differs from its canonical re-encoding at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package client
+
+import (
+	"reflect"
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/churn"
+)
+
+// TestResetStatsZeroesEveryCounter reflect-guards the warmup reset: every
+// exported statistics field of Client must return to its zero value on an
+// idle client. A new counter that resetStats misses would silently leak
+// warmup traffic into the measured interval.
+func TestResetStatsZeroesEveryCounter(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	v := reflect.ValueOf(r.cl).Elem()
+	ty := v.Type()
+	for i := 0; i < ty.NumField(); i++ {
+		f := ty.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Int64:
+			fv.SetInt(7)
+		case reflect.Float64:
+			fv.SetFloat(7.5)
+		case reflect.Struct:
+			// stats.Tally: poke its exported numeric fields directly.
+			for j := 0; j < fv.NumField(); j++ {
+				if sf := fv.Field(j); sf.CanSet() && sf.Kind() == reflect.Float64 {
+					sf.SetFloat(7.5)
+				} else if sf.CanSet() && sf.Kind() == reflect.Int64 {
+					sf.SetInt(7)
+				}
+			}
+		default:
+			t.Fatalf("unhandled exported field %s of kind %v; extend the reset guard", f.Name, fv.Kind())
+		}
+	}
+	r.cl.ResetStats()
+	for i := 0; i < ty.NumField(); i++ {
+		f := ty.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if !v.Field(i).IsZero() {
+			t.Errorf("ResetStats left %s = %v on an idle client", f.Name, v.Field(i))
+		}
+	}
+}
+
+func TestStormDownBlocksDeliveryAndCounts(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	r.k.Run(1)
+	r.cl.StormDown()
+	r.cl.StormDown() // idempotent
+	if r.cl.StormDisconnects != 1 || r.cl.Disconnections != 1 {
+		t.Fatalf("storm disconnects %d / total %d after an idempotent double StormDown, want 1 / 1",
+			r.cl.StormDisconnects, r.cl.Disconnections)
+	}
+	if r.cl.Connected() {
+		t.Fatal("client connected while storm-downed")
+	}
+	heard := r.cl.ReportsHeard
+	r.broadcast(100)
+	if r.cl.ReportsHeard != heard {
+		t.Fatal("storm-downed client heard a report")
+	}
+	r.cl.DeliverItem(1, 1, 100, 100)
+	if r.cl.OfflineDrops != 1 {
+		t.Fatalf("offline item delivery recorded %d drops, want 1", r.cl.OfflineDrops)
+	}
+	r.cl.StormUp(false)
+	r.cl.StormUp(false) // idempotent
+	if !r.cl.Connected() {
+		t.Fatal("client still down after StormUp")
+	}
+	if r.cl.StormDisconnects != 1 {
+		t.Fatalf("storm disconnects %d after heal, want 1", r.cl.StormDisconnects)
+	}
+}
+
+func TestRestartWarmRestoresProtocolState(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	r.k.Run(1)
+	r.cl.CrashDown()
+	if !r.cl.CrashedDown() || r.cl.Crashes != 1 {
+		t.Fatalf("CrashDown: crashed=%v crashes=%d", r.cl.CrashedDown(), r.cl.Crashes)
+	}
+	snap := &churn.Snapshot{
+		Epoch: 2, PersistAt: 50, Tlb: 42,
+		Entries: []cache.Entry{{ID: 9, TS: 40, Version: 3}},
+	}
+	r.cl.Restart(snap, false)
+	if r.cl.CrashedDown() || !r.cl.Connected() {
+		t.Fatal("client not back up after warm restart")
+	}
+	if r.cl.RestartsWarm != 1 || r.cl.RestartsCold != 0 {
+		t.Fatalf("restarts warm/cold = %d/%d, want 1/0", r.cl.RestartsWarm, r.cl.RestartsCold)
+	}
+	st := r.cl.st
+	if st.Tlb != 42 || st.Epoch != 2 || st.Salvages != 1 {
+		t.Fatalf("restored Tlb=%v Epoch=%d Salvages=%d, want 42 / 2 / 1", st.Tlb, st.Epoch, st.Salvages)
+	}
+	if _, ok := st.Cache.Peek(9); !ok {
+		t.Fatal("restored cache is missing the snapshot entry")
+	}
+}
+
+func TestRestartColdDropsAndCountsRejection(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	r.k.Run(1)
+	r.cl.st.Cache.Put(5, 10, 1)
+	r.cl.st.Tlb = 30
+	r.cl.CrashDown()
+	r.cl.Restart(nil, true)
+	if r.cl.RestartsCold != 1 || r.cl.SnapshotRejects != 1 {
+		t.Fatalf("cold restarts %d, rejects %d, want 1 / 1", r.cl.RestartsCold, r.cl.SnapshotRejects)
+	}
+	st := r.cl.st
+	if st.Cache.Len() != 0 || st.Tlb != 0 || st.Epoch != 0 || st.Drops != 1 {
+		t.Fatalf("cold restart left len=%d Tlb=%v Epoch=%d Drops=%d", st.Cache.Len(), st.Tlb, st.Epoch, st.Drops)
+	}
+}
+
+func TestRestartWithoutCrashPanics(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart on a live client did not panic")
+		}
+	}()
+	r.cl.Restart(nil, false)
+}
+
+// TestCrashCarriesOverResetStats pins the warmup carry: a client crashed
+// across the warmup boundary keeps one counted crash so the identity
+// Crashes == RestartsWarm + RestartsCold + CrashedDown holds over the
+// measured interval.
+func TestCrashCarriesOverResetStats(t *testing.T) {
+	r := newRig(t, "ts", nil)
+	r.cl.Start()
+	r.k.Run(1)
+	r.cl.CrashDown()
+	r.cl.ResetStats()
+	if r.cl.Crashes != 1 {
+		t.Fatalf("warmup reset forgot the in-progress crash: Crashes=%d, want 1", r.cl.Crashes)
+	}
+	r.cl.Restart(nil, false)
+	if r.cl.Crashes != r.cl.RestartsWarm+r.cl.RestartsCold {
+		t.Fatalf("post-restart identity broken: crashes=%d warm=%d cold=%d",
+			r.cl.Crashes, r.cl.RestartsWarm, r.cl.RestartsCold)
+	}
+}

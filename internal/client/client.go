@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"mobicache/internal/bitio"
+	"mobicache/internal/churn"
 	"mobicache/internal/core"
 	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
@@ -154,6 +155,15 @@ type Client struct {
 	pending   int
 	queryOpen bool // a query is issued but not yet answered/timed out/shed
 
+	// Forced-offline state (population-churn layer). connected stays
+	// owned by the voluntary disconnect path; the churn adversary forces
+	// the host down orthogonally, so a crash during a voluntary nap and
+	// a nap ending inside a storm both resolve correctly. The host hears
+	// the cell only when connected and not forced offline.
+	offlineStorm bool        // held down by a mass-disconnect storm
+	offlineCrash bool        // process crashed, awaiting restart
+	onlineSig    *sim.Signal // broadcast when the last forced hold clears
+
 	// Fault-injection state.
 	downGE    *faults.GE     // report reception loss/corruption, nil when clean
 	fetchSeq  int64          // fetch generations, so stale timeouts no-op
@@ -174,6 +184,13 @@ type Client struct {
 	ItemsFromCache       int64
 	RespTime             stats.Tally
 	Disconnections       int64
+	SoloDisconnects      int64
+	StormDisconnects     int64
+	Crashes              int64
+	RestartsWarm         int64
+	RestartsCold         int64
+	SnapshotRejects      int64
+	OfflineDrops         int64
 	DisconnectedFor      float64
 	ReportsHeard         int64
 	ReportsLost          int64
@@ -222,6 +239,7 @@ func New(k *sim.Kernel, up *netsim.Channel, server ServerAPI, cfg Config, src *r
 		connected: true,
 		validated: sim.NewSignal(k),
 		fetchSig:  sim.NewSignal(k),
+		onlineSig: sim.NewSignal(k),
 	}
 	// One loss path: the legacy Bernoulli knob is the degenerate
 	// single-state case of the Gilbert–Elliott chain, driven by the same
@@ -257,14 +275,120 @@ func (c *Client) Start() {
 // ID implements server.Receiver.
 func (c *Client) ID() int32 { return c.cfg.ID }
 
-// Connected implements server.Receiver.
-func (c *Client) Connected() bool { return c.connected }
+// Connected implements server.Receiver: the host hears the cell only
+// when it is not voluntarily asleep and not forced offline by the churn
+// layer.
+func (c *Client) Connected() bool { return c.connected && !c.offline() }
+
+// offline reports whether the churn layer currently holds the host down
+// (storm membership or an unrestarted crash).
+func (c *Client) offline() bool { return c.offlineStorm || c.offlineCrash }
+
+// CrashedDown reports whether the host is crashed and not yet restarted
+// (the engine counts horizon-straddling crashes so the restart
+// accounting identity closes).
+func (c *Client) CrashedDown() bool { return c.offlineCrash }
+
+// waitOnline parks the client process until every forced-offline hold
+// has cleared. With the churn layer disabled it never waits.
+func (c *Client) waitOnline(p *sim.Proc) {
+	for c.offline() {
+		p.Wait(c.onlineSig)
+	}
+}
+
+// resumeIfOnline ends a forced-offline episode: once the last hold
+// clears, the fence position is forgotten (broadcasts missed while down
+// are judged by the Tlb window logic, exactly as after a voluntary nap)
+// and the parked query loop wakes.
+func (c *Client) resumeIfOnline() {
+	if c.offline() {
+		return
+	}
+	c.st.ResetSeqFence()
+	c.onlineSig.Broadcast()
+}
+
+// StormDown implements churn.Host: a mass-disconnect storm forces the
+// host into disconnection. Any validation exchange in flight is
+// abandoned, exactly as on a voluntary power-down. Idempotent.
+func (c *Client) StormDown() {
+	if c.offlineStorm {
+		return
+	}
+	c.offlineStorm = true
+	c.st.AbandonPending()
+	c.Disconnections++
+	c.StormDisconnects++
+	c.cfg.Metrics.stormDisconnect()
+}
+
+// StormUp implements churn.Host: the storm hold clears — at the heal
+// instant, or through the paced resync backoff (paced). The host stays
+// offline while also crashed; the restart then completes the resume.
+// Idempotent.
+func (c *Client) StormUp(paced bool) {
+	if !c.offlineStorm {
+		return
+	}
+	c.offlineStorm = false
+	c.resumeIfOnline()
+}
+
+// CrashDown implements churn.Host: the client process dies. In-flight
+// validation state is abandoned (the reply would reach a dead process);
+// the cache's fate is decided by Restart. Idempotent.
+func (c *Client) CrashDown() {
+	if c.offlineCrash {
+		return
+	}
+	c.offlineCrash = true
+	c.st.AbandonPending()
+	c.Crashes++
+	c.cfg.Metrics.clientCrash()
+}
+
+// Restart implements churn.Host: the crashed process comes back. Warm
+// (snap non-nil), the persisted cache, validation horizon and recovery
+// epoch are reinstated and count as a salvage; cold, everything a
+// process keeps in memory is gone — cache dropped, nothing validated,
+// no epoch seen — with rejected marking a cold start forced by a
+// verifiably refused snapshot. Scheme-specific Ext state is process
+// memory and is lost either way (the sig scheme re-baselines from its
+// next report, dropping the cache it cannot vouch for).
+func (c *Client) Restart(snap *churn.Snapshot, rejected bool) {
+	if !c.offlineCrash {
+		panic("client: restart without a crash")
+	}
+	if snap != nil {
+		c.st.Cache.Reload(snap.Entries)
+		c.st.Tlb = snap.Tlb
+		c.st.Epoch = snap.Epoch
+		c.st.Salvages++
+		c.RestartsWarm++
+		c.cfg.Metrics.restartWarm()
+	} else {
+		c.st.Cache.DropAll()
+		c.st.Drops++
+		c.st.Tlb = 0
+		c.st.Epoch = 0
+		c.RestartsCold++
+		c.cfg.Metrics.restartCold()
+		if rejected {
+			c.SnapshotRejects++
+			c.cfg.Metrics.snapshotReject()
+		}
+	}
+	c.st.Ext = nil
+	c.offlineCrash = false
+	c.resumeIfOnline()
+}
 
 // DeliverReport implements server.Receiver: the protocol step runs
 // immediately (it is the paper's client invalidation algorithm), and any
 // resulting uplink message is queued on the shared uplink channel.
 func (c *Client) DeliverReport(r report.Report, now sim.Time) {
-	if !c.connected {
+	if !c.connected || c.offline() {
 		return
 	}
 	if c.downGE != nil {
@@ -362,7 +486,7 @@ func (c *Client) fenceAdmit(r report.Report, now sim.Time) bool {
 
 // DeliverValidity implements server.Receiver.
 func (c *Client) DeliverValidity(v *report.ValidityReport, now sim.Time) {
-	if !c.connected || !c.st.AwaitingValidity {
+	if !c.connected || c.offline() || !c.st.AwaitingValidity {
 		// The exchange was abandoned (disconnection mid-check).
 		c.StaleValidityDropped++
 		c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValidityDelivered,
@@ -380,6 +504,9 @@ func (c *Client) DeliverValidity(v *report.ValidityReport, now sim.Time) {
 // (the backed-off retry timer re-requests, or the query deadline
 // eventually abandons the fetch).
 func (c *Client) DeliverBusy(id int32, now sim.Time) {
+	if c.offline() {
+		return
+	}
 	c.BusyHeard++
 }
 
@@ -397,6 +524,14 @@ func (c *Client) InFlight() int64 {
 // DeliverItem implements server.Receiver: a fetched item arrives and is
 // cached with the version timestamp it carried.
 func (c *Client) DeliverItem(id int32, version int32, ts float64, now sim.Time) {
+	if c.offline() {
+		// A crashed or storm-downed host cannot receive: the item is lost
+		// on the air. (An ordinary voluntary nap keeps the legacy
+		// behaviour — late deliveries refresh the cache.) Recovery rides
+		// the armed retry/deadline machinery.
+		c.OfflineDrops++
+		return
+	}
 	c.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ItemDelivered,
 		Client: c.cfg.ID, A: int64(id)})
 	c.st.Cache.Put(id, ts, version)
@@ -502,6 +637,9 @@ func (c *Client) scheduleCtrlTimeout(kindArg int64) {
 func (c *Client) run(p *sim.Proc) {
 	for {
 		c.gap(p)
+		// A storm or crash holds the host down: no queries are issued
+		// while the device is forced off. Never waits with churn disabled.
+		c.waitOnline(p)
 		tq := p.Now()
 		k := c.cfg.QueryItems.Draw(c.src)
 		c.queryIDs = c.cfg.QueryAccess.Sample(c.src, k, c.queryIDs[:0])
@@ -558,8 +696,13 @@ func (c *Client) disconnect(p *sim.Proc) {
 	c.cfg.Tracer.Record(trace.Event{T: p.Now(), Kind: trace.Disconnect,
 		Client: c.cfg.ID, B: int64(d * 1e6)})
 	c.Disconnections++
+	c.SoloDisconnects++
 	c.DisconnectedFor += d
 	p.Hold(d)
+	// A storm or crash that caught the sleeping host extends the outage
+	// past the voluntary draw; only the voluntary part is accounted in
+	// DisconnectedFor.
+	c.waitOnline(p)
 	if c.cfg.OnWake != nil {
 		c.cfg.OnWake(c)
 	}
@@ -695,26 +838,32 @@ func (c *Client) abandonFetch() {
 // uplink; in retry mode the backed-off re-request timer is armed either
 // way, so a shed request is simply re-issued later.
 func (c *Client) sendFetch(attempt int) bool {
-	ids := make([]int32, 0, len(c.fetchIDs))
-	for _, id := range c.fetchIDs {
-		if attempt == 0 || c.fetchWant[id] {
-			ids = append(ids, id)
+	admitted := false
+	// A forced-offline host cannot transmit: the attempt is skipped, but
+	// in retry mode the backoff timer below still arms, so the fetch is
+	// re-requested once the host is back (or the deadline abandons it).
+	if !c.offline() {
+		ids := make([]int32, 0, len(c.fetchIDs))
+		for _, id := range c.fetchIDs {
+			if attempt == 0 || c.fetchWant[id] {
+				ids = append(ids, id)
+			}
 		}
-	}
-	var onTx func(sim.Time)
-	if c.cfg.Tracer.Enabled(trace.UplinkTxStart) {
-		onTx = func(t sim.Time) {
-			c.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
-				Client: c.cfg.ID, A: 0})
+		var onTx func(sim.Time)
+		if c.cfg.Tracer.Enabled(trace.UplinkTxStart) {
+			onTx = func(t sim.Time) {
+				c.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
+					Client: c.cfg.ID, A: 0})
+			}
 		}
-	}
-	admitted := c.up.SendObserved(netsim.ClassData, c.cfg.FetchRequestBits, onTx, func() {
-		c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
-	})
-	if admitted {
-		c.FetchUplinkBits += c.cfg.FetchRequestBits
-		c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.FetchSent,
-			Client: c.cfg.ID, A: int64(len(ids)), B: int64(attempt)})
+		admitted = c.up.SendObserved(netsim.ClassData, c.cfg.FetchRequestBits, onTx, func() {
+			c.server.OnFetch(c.cfg.ID, ids, c.k.Now())
+		})
+		if admitted {
+			c.FetchUplinkBits += c.cfg.FetchRequestBits
+			c.cfg.Tracer.Record(trace.Event{T: c.k.Now(), Kind: trace.FetchSent,
+				Client: c.cfg.ID, A: int64(len(ids)), B: int64(attempt)})
+		}
 	}
 	if !c.cfg.Retry.Enabled() {
 		return admitted
@@ -746,6 +895,20 @@ func (c *Client) ResetStats() {
 	c.ItemsFromCache = 0
 	c.RespTime = stats.Tally{}
 	c.Disconnections = 0
+	c.SoloDisconnects = 0
+	c.StormDisconnects = 0
+	// A crash straddling the warmup boundary stays counted, mirroring the
+	// in-flight query carry-over above: its restart lands in the measured
+	// interval, and the identity Crashes == RestartsWarm + RestartsCold +
+	// CrashedDown must hold over that interval.
+	c.Crashes = 0
+	if c.offlineCrash {
+		c.Crashes = 1
+	}
+	c.RestartsWarm = 0
+	c.RestartsCold = 0
+	c.SnapshotRejects = 0
+	c.OfflineDrops = 0
 	c.DisconnectedFor = 0
 	c.ReportsHeard = 0
 	c.ReportsLost = 0

@@ -36,6 +36,14 @@ type Metrics struct {
 	// AoI observes each answered item's age of information (wired only
 	// when span/AoI observability is enabled).
 	AoI *metrics.Histogram
+	// Population-churn transitions (armed only under the churn layer):
+	// storm-forced disconnections, process crashes, warm and cold
+	// restarts, and verified snapshot rejections.
+	StormDisconnects *metrics.Counter
+	ClientCrashes    *metrics.Counter
+	RestartsWarm     *metrics.Counter
+	RestartsCold     *metrics.Counter
+	SnapshotRejects  *metrics.Counter
 }
 
 func (m *Metrics) aoi(age float64) {
@@ -135,4 +143,39 @@ func (m *Metrics) irReorder() {
 		return
 	}
 	m.IRReorders.Inc()
+}
+
+func (m *Metrics) stormDisconnect() {
+	if m == nil {
+		return
+	}
+	m.StormDisconnects.Inc()
+}
+
+func (m *Metrics) clientCrash() {
+	if m == nil {
+		return
+	}
+	m.ClientCrashes.Inc()
+}
+
+func (m *Metrics) restartWarm() {
+	if m == nil {
+		return
+	}
+	m.RestartsWarm.Inc()
+}
+
+func (m *Metrics) restartCold() {
+	if m == nil {
+		return
+	}
+	m.RestartsCold.Inc()
+}
+
+func (m *Metrics) snapshotReject() {
+	if m == nil {
+		return
+	}
+	m.SnapshotRejects.Inc()
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
 	"mobicache/internal/db"
@@ -128,6 +129,18 @@ type Config struct {
 	// recovery path (Faults.Retry or Overload.QueryDeadline); Validate
 	// enforces it.
 	Delivery delivery.Config
+	// Churn configures the population adversary: correlated mass-
+	// disconnect storms with paced resync, and client crash/restart with
+	// a persisted-snapshot trust contract (warm restores come from a
+	// bit-packed, checksummed, epoch-tagged checkpoint; a corrupt or
+	// stale one is verifiably rejected back to a cold start). The zero
+	// value disables everything — no events, no randomness, results
+	// bit-identical to builds without the layer (pinned by
+	// TestChurnFreeResultsUnchanged). Any enabled churn requires a
+	// recovery path (Faults.Retry or Overload.QueryDeadline); Validate
+	// enforces it, and bounds Churn.SnapshotTTL by the invalidation
+	// window w·L.
+	Churn churn.Config
 	// Spans arms the causal-span and age-of-information observability
 	// layer: a span.Assembler rides the trace stream as a sink (created
 	// internally, chained behind any user-supplied sink), folding each
@@ -218,6 +231,10 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Delivery.Validate(c.Faults.Retry.Enabled() || c.Overload.QueryDeadline > 0, c.SimTime); err != nil {
+		return err
+	}
+	if err := c.Churn.Validate(c.Faults.Retry.Enabled() || c.Overload.QueryDeadline > 0,
+		float64(c.WindowIntervals)*c.Period); err != nil {
 		return err
 	}
 	if _, err := core.Lookup(c.Scheme); err != nil {
@@ -324,6 +341,24 @@ type Results struct {
 	DeliveryDelayed  int64 // deliveries the adversary postponed (jitter/reorder)
 	DeliveryReorders int64 // deliveries pushed past the reorder window
 	DeliveryDups     int64 // duplicate deliveries injected
+
+	// Population churn (all stay 0 with the layer disabled). Two
+	// accounting identities close over these:
+	//   Disconnections == StormDisconnects + SoloDisconnects
+	//   ClientCrashes  == RestartsWarm + RestartsCold + CrashedAtEnd
+	// with Salvages >= RestartsWarm, Drops >= RestartsCold, and
+	// SnapshotRejects <= RestartsCold (every rejection forced one of the
+	// cold restarts).
+	Storms           int64 // mass-disconnect storms started
+	StormDisconnects int64 // clients forced down by storms
+	SoloDisconnects  int64 // voluntary (paper-model) disconnections
+	ClientCrashes    int64 // client process crashes
+	RestartsWarm     int64 // restarts that salvaged a persisted snapshot
+	RestartsCold     int64 // restarts that started from an empty cache
+	SnapshotRejects  int64 // snapshots verifiably rejected (corrupt/stale/inconsistent)
+	CrashedAtEnd     int64 // clients still crashed at the horizon
+	PacedResumes     int64 // post-storm reconnections through the resync backoff
+	OfflineDrops     int64 // deliveries lost at a forced-offline host
 
 	// Client behaviour.
 	ReportsLost               int64
@@ -552,6 +587,18 @@ func Run(c Config) (*Results, error) {
 		srv.Attach(cl)
 		cl.Start()
 	}
+	// The population adversary attaches to the built client population;
+	// nil (the zero config) wires nothing, schedules nothing, and
+	// consumes no randomness.
+	churnAdv := churn.New(k, c.Churn, root.Split(5), c.Trace)
+	if churnAdv != nil {
+		hosts := make([]churn.Host, len(clients))
+		for i, cl := range clients {
+			hosts[i] = cl
+		}
+		churnAdv.Attach(c.CacheCapacity(), hosts...)
+		churnAdv.Start()
+	}
 	srv.Start()
 	wireSystemMetrics(c, k, srv, down, up, clients)
 
@@ -585,6 +632,7 @@ func Run(c Config) (*Results, error) {
 			down.ResetStats()
 			up.ResetStats()
 			adv.ResetStats()
+			churnAdv.ResetStats()
 			*respHist = *stats.NewHistogram(respHist.Lo, respHist.Hi, respHist.Bins())
 			if aoiHist != nil {
 				*aoiHist = *stats.NewHistogram(aoiHist.Lo, aoiHist.Hi, aoiHist.Bins())
@@ -620,6 +668,16 @@ func Run(c Config) (*Results, error) {
 		res.Drops += cl.State().Drops
 		res.Salvages += cl.State().Salvages
 		res.Disconnections += cl.Disconnections
+		res.SoloDisconnects += cl.SoloDisconnects
+		res.StormDisconnects += cl.StormDisconnects
+		res.ClientCrashes += cl.Crashes
+		res.RestartsWarm += cl.RestartsWarm
+		res.RestartsCold += cl.RestartsCold
+		res.SnapshotRejects += cl.SnapshotRejects
+		res.OfflineDrops += cl.OfflineDrops
+		if cl.CrashedDown() {
+			res.CrashedAtEnd++
+		}
 		res.MeanDisconnectedFor += cl.DisconnectedFor
 		res.ItemsFromCache += cl.ItemsFromCache
 		res.ItemsFetched += cl.ItemsRequested
@@ -639,8 +697,11 @@ func Run(c Config) (*Results, error) {
 			}
 		}
 	}
-	if res.Disconnections > 0 {
-		res.MeanDisconnectedFor /= float64(res.Disconnections)
+	// Storm-forced disconnections have no voluntary duration draw, so the
+	// mean covers only the paper-model naps (with churn disabled the two
+	// counters are equal and this matches the historical definition).
+	if res.SoloDisconnects > 0 {
+		res.MeanDisconnectedFor /= float64(res.SoloDisconnects)
 	}
 	res.MeanResponse = resp.Mean()
 	if res.QueriesAnswered > 0 {
@@ -669,6 +730,10 @@ func Run(c Config) (*Results, error) {
 		res.DeliveryDelayed = adv.Delayed()
 		res.DeliveryReorders = adv.Reordered()
 		res.DeliveryDups = adv.Dups()
+	}
+	if churnAdv != nil {
+		res.Storms = churnAdv.Storms
+		res.PacedResumes = churnAdv.PacedResumes
 	}
 	res.ServerCrashes = srv.Crashes
 	res.ServerDowntime = srv.Downtime

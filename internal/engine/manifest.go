@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/delivery"
 	"mobicache/internal/faults"
 	"mobicache/internal/overload"
@@ -21,8 +22,10 @@ import (
 // replay unchanged); 4 = added the span/AoI observability block
 // (spans_enabled re-arms the layer on replay and span_terminal/aoi_p95
 // join the digest; older manifests decode with the layer off, which is
-// bit-identical to how they ran, so replay stays faithful).
-const ManifestSchemaVersion = 4
+// bit-identical to how they ran, so replay stays faithful); 5 = added
+// the churn block (zero value is the disabled population-churn layer,
+// which draws no randomness, so pre-v5 manifests replay unchanged).
+const ManifestSchemaVersion = 5
 
 // Manifest is the reproducibility record of one run: every knob needed
 // to re-execute it bit-identically (scheme, workload, seed, all Config
@@ -62,6 +65,7 @@ type Manifest struct {
 	Faults           faults.Config   `json:"faults"`
 	Overload         overload.Config `json:"overload"`
 	Delivery         delivery.Config `json:"delivery"`
+	Churn            churn.Config    `json:"churn"`
 	// SpansEnabled records whether the span/AoI observability layer was
 	// armed (Config.Spans != nil). Replay re-arms it so the span digest
 	// fields below can be verified; assembly draws no randomness, so the
@@ -121,6 +125,7 @@ func NewManifest(r *Results) *Manifest {
 		Faults:             c.Faults,
 		Overload:           c.Overload,
 		Delivery:           c.Delivery,
+		Churn:              c.Churn,
 		QueriesAnswered:    r.QueriesAnswered,
 		HitRatio:           r.HitRatio,
 		UplinkBitsPerQuery: r.UplinkBitsPerQuery,
@@ -188,6 +193,7 @@ func (m *Manifest) EngineConfig() (Config, error) {
 		Faults:           m.Faults,
 		Overload:         m.Overload,
 		Delivery:         m.Delivery,
+		Churn:            m.Churn,
 	}, nil
 }
 

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+func TestChurnSweepLevelsValid(t *testing.T) {
+	sw := ExtensionSweeps["ext-churn"]
+	if len(sw.Xs) != 5 {
+		t.Fatalf("churn sweep has %d severity levels, want 5", len(sw.Xs))
+	}
+	for _, x := range sw.Xs {
+		c := sw.Configure(x)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("severity %v: %v", x, err)
+		}
+		if (x > 0) != c.Churn.Enabled() {
+			t.Fatalf("severity %v: Churn.Enabled() = %v", x, c.Churn.Enabled())
+		}
+		if !c.ConsistencyCheck {
+			t.Fatalf("severity %v: sweep does not arm the stale-read oracle", x)
+		}
+	}
+}
+
+func TestChurnSweepZeroStale(t *testing.T) {
+	// The acceptance bar in miniature: the hardest severity across all
+	// seven schemes, with the per-run zero-stale + accounting Check armed
+	// by the sweep itself.
+	sw := ExtensionSweeps["ext-churn"]
+	orig := sw.Xs
+	sw.Xs = []float64{4}
+	defer func() { sw.Xs = orig }()
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 7 {
+		t.Fatalf("churn sweep covers %d schemes, want all 7", len(res.Schemes))
+	}
+	for _, scheme := range res.Schemes {
+		cell := res.Cells[4][scheme]
+		if cell == nil || len(cell.Runs) == 0 {
+			t.Fatalf("%s: no runs", scheme)
+		}
+		run := cell.Runs[0]
+		if run.ConsistencyViolations != 0 {
+			t.Fatalf("%s: stale reads slipped past the sweep check", scheme)
+		}
+		if run.Storms == 0 || run.ClientCrashes == 0 {
+			t.Fatalf("%s: level 4 adversary idle (storms=%d crashes=%d)",
+				scheme, run.Storms, run.ClientCrashes)
+		}
+		if run.QueriesAnswered == 0 {
+			t.Fatalf("%s: answered nothing under the adversary", scheme)
+		}
+	}
+}
+
+// TestChurnSweepForcedRejection pins the acceptance criterion's hardest
+// clause at the sweep level: with every salvaged snapshot corrupted, the
+// rejection path carries all restarts and the runs still clear the
+// sweep's zero-stale + accounting Check.
+func TestChurnSweepForcedRejection(t *testing.T) {
+	s := *ExtensionSweeps["ext-churn"] // fresh copy: no cross-runner memoization
+	s.Xs = []float64{2}
+	baseConfigure := s.Configure
+	s.Configure = func(x float64) engine.Config {
+		c := baseConfigure(x)
+		c.Churn.SnapshotCorruptProb = 1
+		c.Churn.SnapshotStaleProb = 0
+		return c
+	}
+	r := NewRunner(Options{SimTime: 4000})
+	res, err := r.RunSweep(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range res.Schemes {
+		run := res.Cells[2][scheme].Runs[0]
+		if run.RestartsWarm != 0 {
+			t.Fatalf("%s: %d warm restarts with every snapshot corrupted", scheme, run.RestartsWarm)
+		}
+		if run.SnapshotRejects == 0 {
+			t.Fatalf("%s: no rejections over %d crashes with SnapshotCorruptProb=1",
+				scheme, run.ClientCrashes)
+		}
+		if run.ConsistencyViolations != 0 {
+			t.Fatalf("%s: stale reads on the forced-rejection path", scheme)
+		}
+	}
+}
+
+// TestChurnSweepBitIdentical extends the parallel-harness contract to
+// the churn sweep: storms, crashes, snapshot faults and paced resumes
+// all flow through per-run RNG streams and the event calendar, so the
+// same (x, scheme, seed) cell must be the same simulation at any worker
+// count — manifests digest-identical, tables byte-identical.
+func TestChurnSweepBitIdentical(t *testing.T) {
+	runAt := func(workers int) (string, *SweepResult) {
+		s := *ExtensionSweeps["ext-churn"] // fresh copy: no cross-runner memoization
+		s.Xs = []float64{0, 3}
+		s.Schemes = []string{"aaw", "ts-check", "sig"}
+		r := NewRunner(Options{SimTime: 1500, Seeds: []uint64{1, 2}, Workers: workers})
+		fig := Figure{ID: "figchurn", Title: "churn determinism probe", Sweep: &s, Metric: Throughput}
+		table, err := r.RunFigure(fig)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sw, err := r.RunSweep(&s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return table.Render(), sw
+	}
+
+	refTable, ref := runAt(1)
+	for _, workers := range []int{2, 8} {
+		gotTable, got := runAt(workers)
+		if gotTable != refTable {
+			t.Errorf("workers=%d table differs from serial:\n%s\n--- want ---\n%s",
+				workers, gotTable, refTable)
+		}
+		for _, x := range ref.Sweep.Xs {
+			for _, scheme := range ref.Schemes {
+				refRuns := ref.Cells[x][scheme].Runs
+				gotRuns := got.Cells[x][scheme].Runs
+				if len(refRuns) != len(gotRuns) {
+					t.Fatalf("workers=%d x=%v %s: %d runs, want %d",
+						workers, x, scheme, len(gotRuns), len(refRuns))
+				}
+				for i, refRun := range refRuns {
+					m := engine.NewManifest(refRun)
+					if err := m.VerifyReplay(gotRuns[i]); err != nil {
+						t.Errorf("workers=%d x=%v %s seed[%d]: digest mismatch: %v",
+							workers, x, scheme, i, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChurnFiguresRegistered(t *testing.T) {
+	for _, id := range []string{"ext-churn-thr", "ext-churn-upl"} {
+		f, err := ExtensionByID(id)
+		if err != nil || f.Sweep.ID != "ext-churn" {
+			t.Fatalf("%s: %+v %v", id, f, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
 	"mobicache/internal/faults"
@@ -197,6 +198,48 @@ func deliveryCheck(r *engine.Results) error {
 	return nil
 }
 
+// churnCheck is the ext-churn acceptance bar, applied to every run at
+// every severity level: zero stale reads no matter how the population
+// storms, crashes and restores persisted snapshots — plus the PR 4
+// query identity and the churn accounting identities (every forced
+// disconnection and every crash reconciled against its restart).
+func churnCheck(r *engine.Results) error {
+	if r.ConsistencyViolations > 0 {
+		return fmt.Errorf("churn: %s served %d stale read(s); first: %v",
+			r.Config.Scheme, r.ConsistencyViolations, r.FirstViolation)
+	}
+	balance := r.QueriesAnswered + r.QueriesTimedOut + r.QueriesShed + r.QueriesInFlight
+	if r.QueriesIssued != balance {
+		return fmt.Errorf("churn: %s accounting identity broken: issued=%d != answered=%d + timed_out=%d + shed=%d + in_flight=%d",
+			r.Config.Scheme, r.QueriesIssued, r.QueriesAnswered, r.QueriesTimedOut,
+			r.QueriesShed, r.QueriesInFlight)
+	}
+	if r.Disconnections != r.StormDisconnects+r.SoloDisconnects {
+		return fmt.Errorf("churn: %s disconnect identity broken: total=%d != storm=%d + solo=%d",
+			r.Config.Scheme, r.Disconnections, r.StormDisconnects, r.SoloDisconnects)
+	}
+	if r.ClientCrashes != r.RestartsWarm+r.RestartsCold+r.CrashedAtEnd {
+		return fmt.Errorf("churn: %s crash identity broken: crashes=%d != warm=%d + cold=%d + down_at_end=%d",
+			r.Config.Scheme, r.ClientCrashes, r.RestartsWarm, r.RestartsCold, r.CrashedAtEnd)
+	}
+	if r.SnapshotRejects > r.RestartsCold {
+		return fmt.Errorf("churn: %s rejected %d snapshots but only %d cold restarts",
+			r.Config.Scheme, r.SnapshotRejects, r.RestartsCold)
+	}
+	if r.Salvages < r.RestartsWarm {
+		return fmt.Errorf("churn: %s salvaged %d caches but %d warm restarts",
+			r.Config.Scheme, r.Salvages, r.RestartsWarm)
+	}
+	if r.Drops < r.RestartsCold {
+		return fmt.Errorf("churn: %s dropped %d caches but %d cold restarts",
+			r.Config.Scheme, r.Drops, r.RestartsCold)
+	}
+	if r.QueriesAnswered == 0 {
+		return fmt.Errorf("churn: %s collapsed (nothing answered)", r.Config.Scheme)
+	}
+	return nil
+}
+
 // aoiCheck is the ext-aoi acceptance bar, applied to every run at every
 // chaos level: zero stale reads, the PR 4 query accounting identity, the
 // span accounting identity (every issued query assembled into exactly
@@ -299,6 +342,33 @@ func init() {
 		},
 		Check: deliveryCheck,
 	}
+	// Population-churn sweep: mass-disconnect storms with flash-crowd
+	// reconnection, crash/restart with persisted-snapshot staleness and
+	// corruption faults, and paced resync, jointly scaled by the severity
+	// level (churn.Severity), for all seven schemes with the stale-read
+	// checker armed. The retry policy is always on — a crash-orphaned
+	// fetch must be re-requested after restart, not waited on forever.
+	ExtensionSweeps["ext-churn"] = &Sweep{
+		ID: "ext-churn", XLabel: "Churn Severity (storm x crash x snapshot faults)",
+		Xs:      []float64{0, 1, 2, 3, 4},
+		Schemes: AllSchemes,
+		Configure: func(x float64) engine.Config {
+			c := base()
+			c.ProbDisc = 0.1
+			c.MeanDisc = 400
+			c.ConsistencyCheck = true
+			c.Faults.Retry = faults.RetryPolicy{
+				Timeout:     240,
+				Backoff:     2,
+				MaxDelay:    1920,
+				Jitter:      0.2,
+				MaxAttempts: 6,
+			}
+			c.Churn = churn.Severity(x)
+			return c
+		},
+		Check: churnCheck,
+	}
 	// Observability sweep: the span/AoI layer armed for all seven schemes
 	// across the chaos ladder, with the stale-read checker on and both
 	// accounting identities enforced on every run. Warmup is zero so the
@@ -325,6 +395,8 @@ func init() {
 		Figure{ID: "ext-aoi", Title: "OBSERVABILITY: answer AoI p95 vs compound fault intensity", Sweep: ExtensionSweeps["ext-aoi"], Metric: AoIP95},
 		Figure{ID: "ext-delivery-thr", Title: "ROBUSTNESS: throughput vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: Throughput},
 		Figure{ID: "ext-delivery-upl", Title: "ROBUSTNESS: uplink cost vs adversarial delivery severity", Sweep: ExtensionSweeps["ext-delivery"], Metric: UplinkPerQuery},
+		Figure{ID: "ext-churn-thr", Title: "ROBUSTNESS: throughput vs population churn severity", Sweep: ExtensionSweeps["ext-churn"], Metric: Throughput},
+		Figure{ID: "ext-churn-upl", Title: "ROBUSTNESS: uplink cost vs population churn severity", Sweep: ExtensionSweeps["ext-churn"], Metric: UplinkPerQuery},
 		Figure{ID: "ext-chaos-thr", Title: "ROBUSTNESS: throughput vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: Throughput},
 		Figure{ID: "ext-chaos-upl", Title: "ROBUSTNESS: uplink cost vs compound fault intensity", Sweep: ExtensionSweeps["ext-chaos"], Metric: UplinkPerQuery},
 		Figure{ID: "ext-overload-thr", Title: "ROBUSTNESS: goodput vs offered load past saturation", Sweep: ExtensionSweeps["ext-overload"], Metric: Throughput},

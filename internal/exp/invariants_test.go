@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/core"
 	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
@@ -84,16 +85,24 @@ func randomConfig(src *rng.Source) engine.Config {
 			}
 		}
 	}
+	if src.Bool(0.35) { // churn adversary on: same recovery-path rule
+		c.Churn = churn.Severity(0.5 + 3.5*src.Float64())
+		if !c.Faults.Retry.Enabled() && c.Overload.QueryDeadline <= 0 {
+			c.Faults.Retry = faults.RetryPolicy{
+				Timeout: 60, Backoff: 2, MaxDelay: 960, Jitter: 0.1, MaxAttempts: 6,
+			}
+		}
+	}
 	return c
 }
 
 // describe compresses a config into the line printed on failure, enough
 // to reconstruct the case by eye (the seed reconstructs it exactly).
 func describe(c engine.Config) string {
-	return fmt.Sprintf("scheme=%s wl=%s probdisc=%.2f meandisc=%.0f update=%.0f overload=%v faults=%v crash=%v delivery=%v",
+	return fmt.Sprintf("scheme=%s wl=%s probdisc=%.2f meandisc=%.0f update=%.0f overload=%v faults=%v crash=%v delivery=%v churn=%v",
 		c.Scheme, c.Workload.Name, c.ProbDisc, c.MeanDisc, c.MeanUpdate,
 		c.Overload.Enabled(), c.Faults.DownLoss != faults.GEParams{}, c.Faults.CrashMTBF > 0,
-		c.Delivery.Enabled())
+		c.Delivery.Enabled(), c.Churn.Enabled())
 }
 
 // TestSimulationInvariants is the randomized property suite: across a
@@ -125,12 +134,14 @@ func TestSimulationInvariants(t *testing.T) {
 	}
 }
 
-// TestCompoundChaosInvariants forces all three adversarial layers on at
+// TestCompoundChaosInvariants forces all four adversarial layers on at
 // once — delivery perturbation, Gilbert–Elliott loss on both channels,
-// and tight overload caps — across every scheme. The layers compose
-// (delivery wraps inside the GE verdict; overload shedding races the
-// retry policy), and under the full stack the two global invariants must
-// still hold: zero stale reads and exact query accounting.
+// tight overload caps, and population churn — across every scheme. The
+// layers compose (delivery wraps inside the GE verdict; overload
+// shedding races the retry policy; storms and crashes strand exchanges
+// under all of it), and under the full stack the global invariants must
+// still hold: zero stale reads, exact query accounting, and the churn
+// reconciliation identities.
 func TestCompoundChaosInvariants(t *testing.T) {
 	for _, scheme := range core.Names() {
 		c := engine.Default()
@@ -140,6 +151,7 @@ func TestCompoundChaosInvariants(t *testing.T) {
 		c.ProbDisc = 0.2
 		c.MeanDisc = 300
 		c.Delivery = delivery.Severity(3)
+		c.Churn = churn.Severity(3)
 		c.Faults.DownLoss = faults.GEParams{
 			PGoodBad: 0.1, PBadGood: 0.4, LossGood: 0.02, LossBad: 0.4,
 			CorruptGood: 0.005, CorruptBad: 0.05,
@@ -169,6 +181,17 @@ func TestCompoundChaosInvariants(t *testing.T) {
 		}
 		if r.DeliveryDelayed == 0 && r.DeliveryDups == 0 && r.Partitions == 0 {
 			t.Errorf("%s: delivery adversary idle under severity 3", scheme)
+		}
+		if r.Storms == 0 && r.ClientCrashes == 0 {
+			t.Errorf("%s: churn adversary idle under severity 3", scheme)
+		}
+		if r.Disconnections != r.StormDisconnects+r.SoloDisconnects {
+			t.Errorf("%s: disconnect identity broken: total=%d != storm=%d + solo=%d",
+				scheme, r.Disconnections, r.StormDisconnects, r.SoloDisconnects)
+		}
+		if r.ClientCrashes != r.RestartsWarm+r.RestartsCold+r.CrashedAtEnd {
+			t.Errorf("%s: crash identity broken: crashes=%d != warm=%d + cold=%d + down_at_end=%d",
+				scheme, r.ClientCrashes, r.RestartsWarm, r.RestartsCold, r.CrashedAtEnd)
 		}
 		checkNonNegative(t, 0, scheme, r)
 	}

@@ -132,6 +132,32 @@ const (
 	// the client was awaiting it, 1 when it arrived stale (the exchange
 	// had been abandoned or the client sleeps) and was dropped.
 	ValidityDelivered
+	// StormStart: the churn adversary forced a cohort of clients into
+	// disconnection at once. Client = -1, A = cohort size, B = scheduled
+	// heal time in microseconds.
+	StormStart
+	// StormEnd: a disconnection storm healed; the cohort reconnects (all
+	// at once, or spread by resync pacing). Client = -1, A = cohort size.
+	StormEnd
+	// ClientCrash: a client process died, losing its in-memory state.
+	// A = 1 when a cache snapshot was persisted for the restart, 0 when
+	// nothing survived.
+	ClientCrash
+	// RestartWarm: a crashed client restarted from a persisted cache
+	// snapshot that decoded, checksummed and aged within the trust
+	// contract. A = restored entry count.
+	RestartWarm
+	// RestartCold: a crashed client restarted with an empty cache (no
+	// snapshot persisted, or the snapshot was rejected). A = 1 when a
+	// snapshot existed but was rejected.
+	RestartCold
+	// SnapshotReject: a persisted cache snapshot failed the trust checks
+	// at restore. A = reason (1 corrupt/undecodable, 2 stale past the
+	// TTL, 3 inconsistent fields).
+	SnapshotReject
+	// ResyncPaced: a storm-healed client's reconnection was deferred by
+	// the resync pacing jitter. B = the drawn backoff in microseconds.
+	ResyncPaced
 	numKinds
 )
 
@@ -208,6 +234,20 @@ func (k Kind) String() string {
 		return "item-tx-start"
 	case ValidityDelivered:
 		return "validity-delivered"
+	case StormStart:
+		return "storm-start"
+	case StormEnd:
+		return "storm-end"
+	case ClientCrash:
+		return "client-crash"
+	case RestartWarm:
+		return "restart-warm"
+	case RestartCold:
+		return "restart-cold"
+	case SnapshotReject:
+		return "snapshot-reject"
+	case ResyncPaced:
+		return "resync-paced"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

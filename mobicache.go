@@ -22,6 +22,7 @@ import (
 	"io"
 	"sort"
 
+	"mobicache/internal/churn"
 	"mobicache/internal/core"
 	"mobicache/internal/delivery"
 	"mobicache/internal/engine"
@@ -109,6 +110,21 @@ type DeliveryConfig = delivery.Config
 // to a delivery configuration exercising every adversarial mechanism at
 // once; it parameterizes the ext-delivery robustness sweep.
 func DeliverySeverity(level float64) DeliveryConfig { return delivery.Severity(level) }
+
+// ChurnConfig configures the population-churn adversary (Config.Churn):
+// correlated mass-disconnect storms with flash-crowd reconnection,
+// client crash/restart with a persisted cache snapshot subject to
+// staleness/corruption faults, and seeded per-client resync pacing. The
+// zero value schedules nothing and keeps seeded results bit-identical to
+// churn-free runs; an enabled layer requires a recovery path (an uplink
+// retry policy or a query deadline), which Config.Validate enforces. See
+// DESIGN.md §15 for the snapshot trust contract.
+type ChurnConfig = churn.Config
+
+// ChurnSeverity maps a scalar severity level (0 = off, 4 = hardest) to a
+// churn configuration exercising storms, crash/restart and snapshot
+// faults at once; it parameterizes the ext-churn robustness sweep.
+func ChurnSeverity(level float64) ChurnConfig { return churn.Severity(level) }
 
 // MetricsRegistry collects named instruments sampled once per broadcast
 // interval into a per-run timeline (Config.Metrics). Sampling rides the
