@@ -4,7 +4,7 @@
 GO ?= go
 MOBILINT := bin/mobilint
 
-.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke churn-smoke spans-smoke bench par-bench cover mobilint clean
+.PHONY: all build test race lint lint-baseline fuzz-smoke chaos-smoke obs-smoke overload-smoke delivery-smoke churn-smoke spans-smoke agg-smoke bench par-bench cover mobilint clean
 
 all: build lint test
 
@@ -93,6 +93,23 @@ spans-smoke:
 		-spans results-spans/spans.json -manifest results-spans/run.json
 	$(GO) run ./cmd/mobisim -validate-spans results-spans/spans.json
 	$(GO) run ./cmd/experiments -figure ext-aoi -simtime 4000 -out results-spans
+
+# Aggregate-population pass: the full small-n differential matrix (all
+# seven schemes × every adversarial layer, aggregate vs proc, manifests
+# cross-verified), a proc-path manifest replayed on the aggregate path
+# through the CLI, then a 100k-client scale run with its per-interval
+# timeline CSV in results-agg/. The bitmap fuzzer gets a short native
+# run alongside the codec fuzzers.
+agg-smoke:
+	rm -rf results-agg && mkdir -p results-agg
+	$(GO) test -run 'TestAggregate' ./internal/engine
+	$(GO) run ./cmd/mobisim -scheme aaw -simtime 4000 -manifest results-agg/proc.json
+	$(GO) run ./cmd/mobisim -aggregate -from-manifest results-agg/proc.json | grep -q 'replay verified'
+	$(GO) run ./cmd/mobisim -aggregate -scheme aaw -clients 100000 -db 1000 -buffer 0.01 \
+		-simtime 1000 -think 2000 -uplink 1000000 -downlink 1000000 \
+		-timeline results-agg/scale-timeline.csv -manifest results-agg/scale.json
+	head -1 results-agg/scale-timeline.csv | grep -q '^t,' || (echo "bad timeline header" && exit 1)
+	$(GO) test -run FuzzBitmapCache -fuzz=FuzzBitmapCache -fuzztime=10s ./internal/population
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -33,6 +33,7 @@ var Restricted = []string{
 	"internal/parallel",
 	"internal/span",
 	"internal/churn",
+	"internal/population",
 }
 
 // forbidden maps import path -> banned top-level names -> suggestion.

@@ -72,12 +72,51 @@ type ServerSide interface {
 	HandleControl(d *db.Database, msg *ControlMsg, now float64) *report.ValidityReport
 }
 
+// Cache is the client buffer pool the schemes operate on. The canonical
+// implementation is the map-indexed LRU in internal/cache; the aggregate
+// client population substitutes a versioned-bitmap representation over
+// the item-id space (internal/population.BitmapCache) with identical
+// observable semantics — same LRU order, same hit/miss/eviction
+// accounting — pinned by the population package's differential fuzz
+// suite. Entry values are internal/cache.Entry either way.
+type Cache interface {
+	// Lookup finds id, promoting it to most recently used on a hit, and
+	// records the hit or miss.
+	Lookup(id int32) (cache.Entry, bool)
+	// Peek finds id without promoting it or recording statistics.
+	Peek(id int32) (cache.Entry, bool)
+	// Put inserts or refreshes id, making it most recently used and
+	// evicting the LRU entry when the cache is full.
+	Put(id int32, ts float64, version int32)
+	// TouchAll advances the validity timestamp of every entry.
+	TouchAll(ts float64)
+	// Invalidate removes id if cached, reporting whether it was present.
+	Invalidate(id int32) bool
+	// DropAll empties the cache.
+	DropAll()
+	// Len reports the number of cached items.
+	Len() int
+	// Each visits entries MRU first, stopping early if fn returns false.
+	Each(fn func(e cache.Entry) bool)
+	// Entries appends every cached entry, MRU first, to dst.
+	Entries(dst []cache.Entry) []cache.Entry
+	// IDs appends all cached item ids, MRU first, to dst.
+	IDs(dst []int32) []int32
+	// Reload replaces the contents with the given entries (MRU first)
+	// without touching statistics (warm-restart state transplant).
+	Reload(entries []cache.Entry)
+	// Hits and Misses report Lookup outcomes; ResetStats zeroes them.
+	Hits() int64
+	Misses() int64
+	ResetStats()
+}
+
 // ClientState is the per-client protocol state every scheme operates on.
 type ClientState struct {
 	// ID identifies the client in uplink messages.
 	ID int32
 	// Cache is the client's buffer pool.
-	Cache *cache.Cache
+	Cache Cache
 	// Tlb is the timestamp of the latest report (or validity reply)
 	// through which the cache has been validated. Queries arriving at
 	// time t may be answered from cache once Tlb > t.

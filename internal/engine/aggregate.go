@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"mobicache/internal/client"
+	"mobicache/internal/population"
+)
+
+// clientCounters views one process-path client's measurement counters
+// through the aggregate layout, so both population representations
+// drain through the single accumulation function in Run. Pure field
+// copies — no arithmetic — so the process path's sums are exactly what
+// they were before the aggregate path existed.
+func clientCounters(cl *client.Client) population.Counters {
+	return population.Counters{
+		QueriesIssued:        cl.QueriesIssued,
+		QueriesAnswered:      cl.QueriesAnswered,
+		QueriesTimedOut:      cl.QueriesTimedOut,
+		QueriesShed:          cl.QueriesShed,
+		BusyHeard:            cl.BusyHeard,
+		ItemsRequested:       cl.ItemsRequested,
+		ItemsFromCache:       cl.ItemsFromCache,
+		RespTime:             cl.RespTime,
+		Disconnections:       cl.Disconnections,
+		SoloDisconnects:      cl.SoloDisconnects,
+		StormDisconnects:     cl.StormDisconnects,
+		Crashes:              cl.Crashes,
+		RestartsWarm:         cl.RestartsWarm,
+		RestartsCold:         cl.RestartsCold,
+		SnapshotRejects:      cl.SnapshotRejects,
+		OfflineDrops:         cl.OfflineDrops,
+		DisconnectedFor:      cl.DisconnectedFor,
+		ReportsHeard:         cl.ReportsHeard,
+		ReportsLost:          cl.ReportsLost,
+		ReportsCorrupted:     cl.ReportsCorrupted,
+		Retries:              cl.Retries,
+		EpochDegrades:        cl.EpochDegrades,
+		IRGaps:               cl.IRGaps,
+		IRDuplicates:         cl.IRDuplicates,
+		IRReorders:           cl.IRReorders,
+		SkewDegrades:         cl.SkewDegrades,
+		ValidationUplinkBits: cl.ValidationUplinkBits,
+		ValidationUplinkMsgs: cl.ValidationUplinkMsgs,
+		FetchUplinkBits:      cl.FetchUplinkBits,
+		StaleValidityDropped: cl.StaleValidityDropped,
+		AoISamples:           cl.AoISamples,
+		AoISum:               cl.AoISum,
+	}
+}

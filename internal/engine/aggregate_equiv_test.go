@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mobicache/internal/churn"
+	"mobicache/internal/delivery"
+	"mobicache/internal/faults"
+)
+
+// The differential harness behind Config.Aggregate: the aggregate
+// population is trusted only because every run here produces Results —
+// all of them, every counter, every float — bit-identical to the
+// process-per-client path, for every scheme, under every adversarial
+// layer, across seeds. A mismatch in any field fails with the field
+// named.
+
+// equivBase is the differential matrix's base config: small enough that
+// the full scheme × layer × seed product stays fast, long enough to
+// exercise disconnection/reconnection, queries, evictions and window
+// overruns.
+func equivBase(seed uint64) Config {
+	c := Default()
+	c.Clients = 48
+	c.SimTime = 4000
+	c.MeanDisc = 400
+	c.ConsistencyCheck = true
+	c.Seed = seed
+	return c
+}
+
+// equivLayers is the adversarial-layer axis. Each entry arms one layer
+// at the severity the layer's own property tests use.
+var equivLayers = []struct {
+	name  string
+	apply func(*Config)
+}{
+	{"none", func(c *Config) {}},
+	{"chaos", func(c *Config) {
+		c.Faults = faults.Config{
+			DownLoss:  faults.GEParams{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.5, CorruptBad: 0.1},
+			UpLoss:    faults.GEParams{PGoodBad: 0.05, PBadGood: 0.2, LossBad: 0.3},
+			CrashMTBF: 2000,
+			CrashMTTR: 120,
+			Retry:     chaosRetry(),
+		}
+	}},
+	{"overload", func(c *Config) {
+		c.Overload.UpQueueCap = 20
+		c.Overload.DownQueueCap = 20
+		c.Overload.QueryDeadline = 4 * c.Period
+		c.Overload.ServerPendingCap = 16
+		c.Overload.Coalesce = true
+	}},
+	{"delivery", func(c *Config) {
+		c.Delivery = delivery.Severity(1)
+		c.Faults.Retry = chaosRetry()
+	}},
+	{"churn", func(c *Config) {
+		c.Churn = churn.Severity(1)
+		c.Faults.Retry = chaosRetry()
+	}},
+}
+
+// diffResults compares every field of two Results values (Config
+// excluded — it differs by exactly the Aggregate flag) and returns the
+// names of the fields that differ.
+func diffResults(proc, agg *Results) []string {
+	a, b := *proc, *agg
+	a.Config, b.Config = Config{}, Config{}
+	var bad []string
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < va.NumField(); i++ {
+		name := va.Type().Field(i).Name
+		if name == "Config" {
+			continue
+		}
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			bad = append(bad, fmt.Sprintf("%s: proc=%v agg=%v",
+				name, va.Field(i).Interface(), vb.Field(i).Interface()))
+		}
+	}
+	return bad
+}
+
+// runBothPaths executes c on the process path and its aggregate twin,
+// asserting bit-identical Results and a manifest digest that
+// cross-verifies, and returns the process-path results.
+func runBothPaths(t *testing.T, c Config) *Results {
+	t.Helper()
+	c.Aggregate = false
+	proc := mustRun(t, c)
+	c.Aggregate = true
+	agg := mustRun(t, c)
+	if bad := diffResults(proc, agg); len(bad) != 0 {
+		t.Fatalf("aggregate diverged from proc in %d fields:\n%v", len(bad), bad)
+	}
+	// The recorded manifest of one path must verify a replay on the other.
+	if err := NewManifest(proc).VerifyReplay(agg); err != nil {
+		t.Fatalf("proc manifest rejected aggregate replay: %v", err)
+	}
+	if err := NewManifest(agg).VerifyReplay(proc); err != nil {
+		t.Fatalf("aggregate manifest rejected proc replay: %v", err)
+	}
+	if proc.PeakEventQueue != agg.PeakEventQueue {
+		t.Fatalf("peak event queue diverged: proc=%d agg=%d",
+			proc.PeakEventQueue, agg.PeakEventQueue)
+	}
+	return proc
+}
+
+// TestAggregateEquivalence is the core matrix: all seven schemes under
+// every adversarial layer, multiple seeds, aggregate vs proc.
+func TestAggregateEquivalence(t *testing.T) {
+	for _, scheme := range allSchemes {
+		for _, layer := range equivLayers {
+			for _, seed := range []uint64{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", scheme, layer.name, seed), func(t *testing.T) {
+					c := equivBase(seed)
+					c.Scheme = scheme
+					layer.apply(&c)
+					r := runBothPaths(t, c)
+					if r.QueriesAnswered == 0 {
+						t.Fatalf("matrix cell answered no queries; equivalence is vacuous")
+					}
+					if r.ConsistencyViolations != 0 {
+						t.Fatalf("%d stale reads; first: %v", r.ConsistencyViolations, r.FirstViolation)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAggregateEquivalenceWarmup pins the warmup-reset path: both
+// populations must zero the same counters at the boundary, carrying
+// in-flight queries and straddling crashes identically.
+func TestAggregateEquivalenceWarmup(t *testing.T) {
+	for _, layer := range []string{"none", "chaos", "churn"} {
+		t.Run(layer, func(t *testing.T) {
+			c := equivBase(9)
+			c.Scheme = "aaw"
+			c.Warmup = 1000
+			for _, l := range equivLayers {
+				if l.name == layer {
+					l.apply(&c)
+				}
+			}
+			runBothPaths(t, c)
+		})
+	}
+}
+
+// TestAggregateEquivalencePerInterval pins the per-broadcast-boundary
+// disconnection ablation, whose think loop suspends differently.
+func TestAggregateEquivalencePerInterval(t *testing.T) {
+	for _, scheme := range []string{"aaw", "bs", "ts-check"} {
+		t.Run(scheme, func(t *testing.T) {
+			c := equivBase(3)
+			c.Scheme = scheme
+			c.DiscPerInterval = true
+			runBothPaths(t, c)
+		})
+	}
+}
+
+// TestAggregateEquivalenceSpans pins the span/AoI observability layer on
+// the aggregate path: the assembler folds the same trace stream, so the
+// span digest and AoI percentiles must match too.
+func TestAggregateEquivalenceSpans(t *testing.T) {
+	c := equivBase(5)
+	c.Scheme = "aaw"
+	c.Spans = &SpanOptions{}
+	c.Overload.QueryDeadline = 4 * c.Period
+	runBothPaths(t, c)
+}
+
+// TestAggregateDeterminism: the aggregate path is as replayable as the
+// proc path — same seed, same digests, twice.
+func TestAggregateDeterminism(t *testing.T) {
+	c := equivBase(2)
+	c.Scheme = "aaw"
+	c.Aggregate = true
+	a := mustRun(t, c)
+	b := mustRun(t, c)
+	if bad := diffResults(a, b); len(bad) != 0 {
+		t.Fatalf("same seed diverged on the aggregate path:\n%v", bad)
+	}
+}

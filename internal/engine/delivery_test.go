@@ -183,8 +183,8 @@ func TestManifestCarriesDelivery(t *testing.T) {
 	c.Faults.Retry = chaosRetry()
 	r := mustRun(t, c)
 	m := NewManifest(r)
-	if m.SchemaVersion != 5 {
-		t.Fatalf("manifest schema %d, want 5", m.SchemaVersion)
+	if m.SchemaVersion != ManifestSchemaVersion {
+		t.Fatalf("manifest schema %d, want %d", m.SchemaVersion, ManifestSchemaVersion)
 	}
 	rc, err := m.EngineConfig()
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"mobicache/internal/metrics"
 	"mobicache/internal/netsim"
 	"mobicache/internal/overload"
+	"mobicache/internal/population"
 	"mobicache/internal/report"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
@@ -141,6 +142,18 @@ type Config struct {
 	// enforces it, and bounds Churn.SnapshotTTL by the invalidation
 	// window w·L.
 	Churn churn.Config
+	// Aggregate runs the client population on the struct-of-arrays
+	// aggregate path (internal/population): per-client state in flat
+	// slices, caches as versioned bitmaps over the item space, and the
+	// per-client goroutine processes replaced by a continuation machine
+	// driven off the same kernel events. The zero value keeps the
+	// process-per-client path, bit-identical to every recorded golden;
+	// with the switch on, Results and manifest digests are proven
+	// bit-identical to the process path by the differential suite
+	// (aggregate_equiv_test.go, DESIGN.md §16). The only unsupported
+	// combination is multi-cell mobility (client.Config.OnWake), which
+	// the single-cell engine never uses.
+	Aggregate bool
 	// Spans arms the causal-span and age-of-information observability
 	// layer: a span.Assembler rides the trace stream as a sink (created
 	// internally, chained behind any user-supplied sink), folding each
@@ -543,23 +556,11 @@ func Run(c Config) (*Results, error) {
 	clMetrics := newClientMetrics(c.Metrics, c)
 
 	side := scheme.NewClient(params)
-	clients := make([]*client.Client, c.Clients)
-	for i := range clients {
-		// Clock errors are drawn in client index order so assignments are
-		// a pure function of the seed; the fence is armed for every client
-		// whenever the delivery layer is enabled.
-		var clk delivery.Clock
-		fence := false
-		if adv != nil {
-			fence = true
-			clk = adv.ClockFor()
-			if c.Delivery.SkewMax > 0 || c.Delivery.DriftMax > 0 {
-				c.Trace.Record(trace.Event{T: 0, Kind: trace.ClockSkewApplied,
-					Client: int32(i), A: int64(clk.Offset * 1e6), B: int64(clk.Drift * 1e9)})
-			}
-		}
-		cl := client.New(k, up, srv, client.Config{
-			ID:               int32(i),
+	var clients []*client.Client
+	var pop *population.Population
+	if c.Aggregate {
+		pop = population.New(k, up, srv, population.Config{
+			Clients:          c.Clients,
 			Side:             side,
 			Params:           params,
 			CacheCapacity:    c.CacheCapacity(),
@@ -579,28 +580,99 @@ func Run(c Config) (*Results, error) {
 			DownLoss:         c.Faults.DownLoss,
 			Retry:            c.Faults.Retry,
 			QueryDeadline:    c.Overload.QueryDeadline,
-			FenceSeq:         fence,
-			Clock:            clk,
+			FenceSeq:         adv != nil,
 			SkewEpsilon:      c.Delivery.Epsilon,
-		}, root.Split(1000+uint64(i)))
-		clients[i] = cl
-		srv.Attach(cl)
-		cl.Start()
+		}, root)
+		for i := 0; i < c.Clients; i++ {
+			// Same per-client interleaving as the process path below: the
+			// clock draw, the attach, and the start event land in identical
+			// order, so event sequence numbers match exactly.
+			if adv != nil {
+				clk := adv.ClockFor()
+				pop.SetClock(i, clk)
+				if c.Delivery.SkewMax > 0 || c.Delivery.DriftMax > 0 {
+					c.Trace.Record(trace.Event{T: 0, Kind: trace.ClockSkewApplied,
+						Client: int32(i), A: int64(clk.Offset * 1e6), B: int64(clk.Drift * 1e9)})
+				}
+			}
+			srv.Attach(pop.Handle(i))
+			pop.StartClient(i)
+		}
+	} else {
+		clients = make([]*client.Client, c.Clients)
+		for i := range clients {
+			// Clock errors are drawn in client index order so assignments are
+			// a pure function of the seed; the fence is armed for every client
+			// whenever the delivery layer is enabled.
+			var clk delivery.Clock
+			fence := false
+			if adv != nil {
+				fence = true
+				clk = adv.ClockFor()
+				if c.Delivery.SkewMax > 0 || c.Delivery.DriftMax > 0 {
+					c.Trace.Record(trace.Event{T: 0, Kind: trace.ClockSkewApplied,
+						Client: int32(i), A: int64(clk.Offset * 1e6), B: int64(clk.Drift * 1e9)})
+				}
+			}
+			cl := client.New(k, up, srv, client.Config{
+				ID:               int32(i),
+				Side:             side,
+				Params:           params,
+				CacheCapacity:    c.CacheCapacity(),
+				QueryAccess:      c.Workload.Query,
+				QueryItems:       c.Workload.QueryItems,
+				MeanThink:        c.MeanThink,
+				ProbDisc:         c.ProbDisc,
+				MeanDisc:         c.MeanDisc,
+				DiscPerInterval:  c.DiscPerInterval,
+				FetchRequestBits: c.ControlMsgBits,
+				ConsistencyHook:  hook,
+				RespHist:         respHist,
+				AoIHist:          aoiHist,
+				Tracer:           c.Trace,
+				Metrics:          clMetrics,
+				ReportLossProb:   c.ReportLossProb,
+				DownLoss:         c.Faults.DownLoss,
+				Retry:            c.Faults.Retry,
+				QueryDeadline:    c.Overload.QueryDeadline,
+				FenceSeq:         fence,
+				Clock:            clk,
+				SkewEpsilon:      c.Delivery.Epsilon,
+			}, root.Split(1000+uint64(i)))
+			clients[i] = cl
+			srv.Attach(cl)
+			cl.Start()
+		}
 	}
 	// The population adversary attaches to the built client population;
 	// nil (the zero config) wires nothing, schedules nothing, and
 	// consumes no randomness.
 	churnAdv := churn.New(k, c.Churn, root.Split(5), c.Trace)
 	if churnAdv != nil {
-		hosts := make([]churn.Host, len(clients))
-		for i, cl := range clients {
-			hosts[i] = cl
+		hosts := make([]churn.Host, c.Clients)
+		for i := range hosts {
+			if pop != nil {
+				hosts[i] = pop.Handle(i)
+			} else {
+				hosts[i] = clients[i]
+			}
 		}
 		churnAdv.Attach(c.CacheCapacity(), hosts...)
 		churnAdv.Start()
 	}
 	srv.Start()
-	wireSystemMetrics(c, k, srv, down, up, clients)
+	cacheTotals := func() (hits, accesses int64) {
+		if pop != nil {
+			return pop.CacheTotals()
+		}
+		for _, cl := range clients {
+			h := cl.State().Cache.Hits()
+			hits += h
+			accesses += h + cl.State().Cache.Misses()
+		}
+		return hits, accesses
+	}
+	wireSystemMetrics(c, k, srv, down, up, cacheTotals)
 
 	// Batch-means sampler: per-interval query completions, batched into
 	// 50-interval groups for an (approximately independent) CI. The
@@ -611,8 +683,12 @@ func Run(c Config) (*Results, error) {
 	var sampleTick func()
 	sampleTick = func() {
 		var total int64
-		for _, cl := range clients {
-			total += cl.QueriesAnswered
+		if pop != nil {
+			total = pop.TotalAnswered()
+		} else {
+			for _, cl := range clients {
+				total += cl.QueriesAnswered
+			}
 		}
 		batch.Observe(float64(total - prevCompleted))
 		prevCompleted = total
@@ -625,8 +701,12 @@ func Run(c Config) (*Results, error) {
 
 	if c.Warmup > 0 {
 		k.At(c.Warmup, func() {
-			for _, cl := range clients {
-				cl.ResetStats()
+			if pop != nil {
+				pop.ResetStats()
+			} else {
+				for _, cl := range clients {
+					cl.ResetStats()
+				}
 			}
 			srv.ResetStats()
 			down.ResetStats()
@@ -649,52 +729,65 @@ func Run(c Config) (*Results, error) {
 	measured := c.SimTime - c.Warmup
 	res.MeasuredTime = measured
 
-	// Collect.
+	// Collect. Both population representations drain through one
+	// accumulation function, walking clients in index order, so every
+	// float64 sum happens in the same order on both paths and the
+	// aggregate results stay bit-identical to the process path's.
 	var resp stats.Tally
 	var aoiSum float64
-	for _, cl := range clients {
-		res.AoISamples += cl.AoISamples
-		aoiSum += cl.AoISum
-		res.QueriesAnswered += cl.QueriesAnswered
-		res.QueriesIssued += cl.QueriesIssued
-		res.QueriesTimedOut += cl.QueriesTimedOut
-		res.QueriesShed += cl.QueriesShed
-		res.QueriesInFlight += cl.InFlight()
-		res.BusyHeard += cl.BusyHeard
-		res.UplinkValidationBits += cl.ValidationUplinkBits
-		res.ValidationUplinkMsgs += cl.ValidationUplinkMsgs
-		res.CacheHits += cl.State().Cache.Hits()
-		res.CacheMisses += cl.State().Cache.Misses()
-		res.Drops += cl.State().Drops
-		res.Salvages += cl.State().Salvages
-		res.Disconnections += cl.Disconnections
-		res.SoloDisconnects += cl.SoloDisconnects
-		res.StormDisconnects += cl.StormDisconnects
-		res.ClientCrashes += cl.Crashes
-		res.RestartsWarm += cl.RestartsWarm
-		res.RestartsCold += cl.RestartsCold
-		res.SnapshotRejects += cl.SnapshotRejects
-		res.OfflineDrops += cl.OfflineDrops
-		if cl.CrashedDown() {
+	addClient := func(cnt *population.Counters, st *core.ClientState, inFlight int64, crashed bool) {
+		res.AoISamples += cnt.AoISamples
+		aoiSum += cnt.AoISum
+		res.QueriesAnswered += cnt.QueriesAnswered
+		res.QueriesIssued += cnt.QueriesIssued
+		res.QueriesTimedOut += cnt.QueriesTimedOut
+		res.QueriesShed += cnt.QueriesShed
+		res.QueriesInFlight += inFlight
+		res.BusyHeard += cnt.BusyHeard
+		res.UplinkValidationBits += cnt.ValidationUplinkBits
+		res.ValidationUplinkMsgs += cnt.ValidationUplinkMsgs
+		res.CacheHits += st.Cache.Hits()
+		res.CacheMisses += st.Cache.Misses()
+		res.Drops += st.Drops
+		res.Salvages += st.Salvages
+		res.Disconnections += cnt.Disconnections
+		res.SoloDisconnects += cnt.SoloDisconnects
+		res.StormDisconnects += cnt.StormDisconnects
+		res.ClientCrashes += cnt.Crashes
+		res.RestartsWarm += cnt.RestartsWarm
+		res.RestartsCold += cnt.RestartsCold
+		res.SnapshotRejects += cnt.SnapshotRejects
+		res.OfflineDrops += cnt.OfflineDrops
+		if crashed {
 			res.CrashedAtEnd++
 		}
-		res.MeanDisconnectedFor += cl.DisconnectedFor
-		res.ItemsFromCache += cl.ItemsFromCache
-		res.ItemsFetched += cl.ItemsRequested
-		res.ReportsLost += cl.ReportsLost
-		res.ReportsCorrupted += cl.ReportsCorrupted
-		res.Retries += cl.Retries
-		res.EpochDegrades += cl.EpochDegrades
-		res.IRGaps += cl.IRGaps
-		res.IRDuplicates += cl.IRDuplicates
-		res.IRReorders += cl.IRReorders
-		res.SkewDegrades += cl.SkewDegrades
-		res.StaleValidityDropped += cl.StaleValidityDropped
-		if cl.RespTime.N() > 0 {
-			resp.Observe(cl.RespTime.Mean())
-			if cl.RespTime.Max() > res.MaxResponse {
-				res.MaxResponse = cl.RespTime.Max()
+		res.MeanDisconnectedFor += cnt.DisconnectedFor
+		res.ItemsFromCache += cnt.ItemsFromCache
+		res.ItemsFetched += cnt.ItemsRequested
+		res.ReportsLost += cnt.ReportsLost
+		res.ReportsCorrupted += cnt.ReportsCorrupted
+		res.Retries += cnt.Retries
+		res.EpochDegrades += cnt.EpochDegrades
+		res.IRGaps += cnt.IRGaps
+		res.IRDuplicates += cnt.IRDuplicates
+		res.IRReorders += cnt.IRReorders
+		res.SkewDegrades += cnt.SkewDegrades
+		res.StaleValidityDropped += cnt.StaleValidityDropped
+		if cnt.RespTime.N() > 0 {
+			resp.Observe(cnt.RespTime.Mean())
+			if cnt.RespTime.Max() > res.MaxResponse {
+				res.MaxResponse = cnt.RespTime.Max()
 			}
+		}
+	}
+	if pop != nil {
+		for i := 0; i < c.Clients; i++ {
+			addClient(pop.Count(i), pop.State(i), pop.InFlight(i), pop.CrashedDown(i))
+		}
+	} else {
+		for _, cl := range clients {
+			cnt := clientCounters(cl)
+			addClient(&cnt, cl.State(), cl.InFlight(), cl.CrashedDown())
 		}
 	}
 	// Storm-forced disconnections have no voluntary duration draw, so the

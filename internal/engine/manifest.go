@@ -24,8 +24,13 @@ import (
 // join the digest; older manifests decode with the layer off, which is
 // bit-identical to how they ran, so replay stays faithful); 5 = added
 // the churn block (zero value is the disabled population-churn layer,
-// which draws no randomness, so pre-v5 manifests replay unchanged).
-const ManifestSchemaVersion = 5
+// which draws no randomness, so pre-v5 manifests replay unchanged);
+// 6 = added the aggregate flag (records which population representation
+// ran; the two are digest-identical by the equivalence contract, so a
+// replay on either path verifies, but the flag preserves the exact
+// execution mode — and pre-v6 manifests decode with it false, the
+// process path they ran on).
+const ManifestSchemaVersion = 6
 
 // Manifest is the reproducibility record of one run: every knob needed
 // to re-execute it bit-identically (scheme, workload, seed, all Config
@@ -62,6 +67,7 @@ type Manifest struct {
 	HeaderBits       int           `json:"header_bits"`
 	ConsistencyCheck bool          `json:"consistency_check"`
 	ReportLossProb   float64         `json:"report_loss_prob"`
+	Aggregate        bool            `json:"aggregate,omitempty"`
 	Faults           faults.Config   `json:"faults"`
 	Overload         overload.Config `json:"overload"`
 	Delivery         delivery.Config `json:"delivery"`
@@ -122,6 +128,7 @@ func NewManifest(r *Results) *Manifest {
 		HeaderBits:         c.HeaderBits,
 		ConsistencyCheck:   c.ConsistencyCheck,
 		ReportLossProb:     c.ReportLossProb,
+		Aggregate:          c.Aggregate,
 		Faults:             c.Faults,
 		Overload:           c.Overload,
 		Delivery:           c.Delivery,
@@ -190,6 +197,7 @@ func (m *Manifest) EngineConfig() (Config, error) {
 		HeaderBits:       m.HeaderBits,
 		ConsistencyCheck: m.ConsistencyCheck,
 		ReportLossProb:   m.ReportLossProb,
+		Aggregate:        m.Aggregate,
 		Faults:           m.Faults,
 		Overload:         m.Overload,
 		Delivery:         m.Delivery,

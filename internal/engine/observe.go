@@ -54,7 +54,7 @@ func newClientMetrics(reg *metrics.Registry, c Config) *client.Metrics {
 // report choice and crash state, both channels, and the kernel's own
 // event accounting. No-op when metrics are disabled.
 func wireSystemMetrics(c Config, k *sim.Kernel, srv *server.Server,
-	down, up *netsim.Channel, clients []*client.Client) {
+	down, up *netsim.Channel, cacheTotals func() (hits, accesses int64)) {
 	reg := c.Metrics
 	if reg == nil {
 		return
@@ -63,12 +63,7 @@ func wireSystemMetrics(c Config, k *sim.Kernel, srv *server.Server,
 	// accesses, clamped across warmup resets. Empty intervals report 0.
 	var prevHits, prevAccesses int64
 	reg.GaugeFunc("hit_ratio", func() float64 {
-		var hits, accesses int64
-		for _, cl := range clients {
-			h := cl.State().Cache.Hits()
-			hits += h
-			accesses += h + cl.State().Cache.Misses()
-		}
+		hits, accesses := cacheTotals()
 		dh, da := hits-prevHits, accesses-prevAccesses
 		prevHits, prevAccesses = hits, accesses
 		if da <= 0 || dh < 0 {

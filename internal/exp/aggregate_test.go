@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"testing"
+
+	"mobicache/internal/engine"
+)
+
+// TestAggregateSweepBitIdentical extends the parallel-harness contract
+// to Options.Aggregate: a sweep on the aggregate-population path must
+// produce the same tables and manifest digests as the proc-path serial
+// runner, at every worker count. This is the sweep-level face of the
+// engine's differential equivalence suite — one flag, zero drift.
+func TestAggregateSweepBitIdentical(t *testing.T) {
+	s := *Sweeps["uniform-probdisc"] // fresh copy: no cross-runner memoization
+	s.Xs = []float64{0.05, 0.2}
+	s.Schemes = []string{"aaw", "ts-check", "bs"}
+
+	runAt := func(workers int, aggregate bool) (string, *SweepResult) {
+		sw := s
+		r := NewRunner(Options{
+			SimTime: 1500, Seeds: []uint64{1, 2},
+			Workers: workers, Aggregate: aggregate,
+		})
+		fig := Figure{ID: "figagg", Title: "aggregate determinism probe", Sweep: &sw, Metric: Throughput}
+		table, err := r.RunFigure(fig)
+		if err != nil {
+			t.Fatalf("workers=%d aggregate=%v: %v", workers, aggregate, err)
+		}
+		res, err := r.RunSweep(&sw)
+		if err != nil {
+			t.Fatalf("workers=%d aggregate=%v: %v", workers, aggregate, err)
+		}
+		return table.Render(), res
+	}
+
+	refTable, ref := runAt(1, false) // the proc-path serial runner is truth
+	for _, workers := range []int{1, 2, 8} {
+		gotTable, got := runAt(workers, true)
+		if gotTable != refTable {
+			t.Errorf("aggregate workers=%d table differs from proc serial:\n%s\n--- want ---\n%s",
+				workers, gotTable, refTable)
+		}
+		for _, x := range ref.Sweep.Xs {
+			for _, scheme := range ref.Schemes {
+				refRuns := ref.Cells[x][scheme].Runs
+				gotRuns := got.Cells[x][scheme].Runs
+				if len(refRuns) != len(gotRuns) {
+					t.Fatalf("workers=%d x=%v %s: %d runs, want %d",
+						workers, x, scheme, len(gotRuns), len(refRuns))
+				}
+				for i, refRun := range refRuns {
+					m := engine.NewManifest(refRun)
+					if err := m.VerifyReplay(gotRuns[i]); err != nil {
+						t.Errorf("workers=%d x=%v %s seed[%d]: digest mismatch: %v",
+							workers, x, scheme, i, err)
+					}
+					if !gotRuns[i].Config.Aggregate {
+						t.Fatalf("workers=%d x=%v %s seed[%d]: cell did not run aggregate",
+							workers, x, scheme, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package population
+
+import (
+	"testing"
+
+	"mobicache/internal/cache"
+)
+
+// The BitmapCache is trusted only because everything observable about it
+// — LRU order, hit/miss/eviction/invalidation/drop accounting, entry
+// contents, reload semantics — is differentially pinned against the
+// canonical map-indexed LRU in internal/cache, by a fuzzer over random
+// op streams and by boundary tables at the item-space word edges.
+
+// sameEntry compares the observable fields of two entries. cache.Entry
+// carries unexported intrusive-list indexes that are representation
+// residue, not cache state, so whole-struct equality would compare
+// internals no caller can see.
+func sameEntry(a, b cache.Entry) bool {
+	return a.ID == b.ID && a.TS == b.TS && a.Version == b.Version
+}
+
+// pair drives the two representations in lockstep and asserts every
+// observable agrees after each operation.
+type pair struct {
+	t   *testing.T
+	ref *cache.Cache
+	bm  *BitmapCache
+}
+
+func newPair(t *testing.T, capacity, items int) *pair {
+	return &pair{t: t, ref: cache.New(capacity), bm: NewBitmapCache(capacity, items)}
+}
+
+func (p *pair) check() {
+	p.t.Helper()
+	if p.ref.Len() != p.bm.Len() {
+		p.t.Fatalf("len diverged: ref=%d bm=%d", p.ref.Len(), p.bm.Len())
+	}
+	if p.ref.Hits() != p.bm.Hits() || p.ref.Misses() != p.bm.Misses() {
+		p.t.Fatalf("lookup stats diverged: ref=%d/%d bm=%d/%d",
+			p.ref.Hits(), p.ref.Misses(), p.bm.Hits(), p.bm.Misses())
+	}
+	if p.ref.Evictions() != p.bm.Evictions() ||
+		p.ref.Invalidations() != p.bm.Invalidations() ||
+		p.ref.Drops() != p.bm.Drops() {
+		p.t.Fatalf("churn stats diverged: ref=%d/%d/%d bm=%d/%d/%d",
+			p.ref.Evictions(), p.ref.Invalidations(), p.ref.Drops(),
+			p.bm.Evictions(), p.bm.Invalidations(), p.bm.Drops())
+	}
+	if p.ref.HitRatio() != p.bm.HitRatio() {
+		p.t.Fatalf("hit ratio diverged: ref=%v bm=%v", p.ref.HitRatio(), p.bm.HitRatio())
+	}
+	a := p.ref.Entries(nil)
+	b := p.bm.Entries(nil)
+	if len(a) != len(b) {
+		p.t.Fatalf("entries diverged: ref=%v bm=%v", a, b)
+	}
+	for i := range a {
+		if !sameEntry(a[i], b[i]) {
+			p.t.Fatalf("entry %d diverged (MRU order): ref=%v bm=%v", i, a[i], b[i])
+		}
+	}
+	ids1 := p.ref.IDs(nil)
+	ids2 := p.bm.IDs(nil)
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			p.t.Fatalf("id order diverged: ref=%v bm=%v", ids1, ids2)
+		}
+	}
+	// Each must visit the same MRU prefix and honour early stop.
+	if len(a) > 1 {
+		var ea, eb []cache.Entry
+		p.ref.Each(func(e cache.Entry) bool { ea = append(ea, e); return len(ea) < 2 })
+		p.bm.Each(func(e cache.Entry) bool { eb = append(eb, e); return len(eb) < 2 })
+		if len(ea) != len(eb) || !sameEntry(ea[0], eb[0]) || !sameEntry(ea[1], eb[1]) {
+			p.t.Fatalf("Each diverged: ref=%v bm=%v", ea, eb)
+		}
+	}
+}
+
+// step applies one fuzz-chosen operation to both representations.
+// Returns false if the op byte is a no-op for this position.
+func (p *pair) step(op byte, id int32, ts float64, ver int32) {
+	p.t.Helper()
+	switch op % 8 {
+	case 0, 1:
+		e1, ok1 := p.ref.Lookup(id)
+		e2, ok2 := p.bm.Lookup(id)
+		if ok1 != ok2 || !sameEntry(e1, e2) {
+			p.t.Fatalf("Lookup(%d) diverged: ref=%v,%v bm=%v,%v", id, e1, ok1, e2, ok2)
+		}
+	case 2:
+		e1, ok1 := p.ref.Peek(id)
+		e2, ok2 := p.bm.Peek(id)
+		if ok1 != ok2 || !sameEntry(e1, e2) {
+			p.t.Fatalf("Peek(%d) diverged: ref=%v,%v bm=%v,%v", id, e1, ok1, e2, ok2)
+		}
+	case 3, 4:
+		p.ref.Put(id, ts, ver)
+		p.bm.Put(id, ts, ver)
+	case 5:
+		if p.ref.Invalidate(id) != p.bm.Invalidate(id) {
+			p.t.Fatalf("Invalidate(%d) verdicts diverged", id)
+		}
+	case 6:
+		p.ref.TouchAll(ts)
+		p.bm.TouchAll(ts)
+	case 7:
+		p.ref.DropAll()
+		p.bm.DropAll()
+	}
+	p.check()
+}
+
+// FuzzBitmapCache feeds both representations the same op stream and
+// fails on the first observable divergence. The corpus seeds cover the
+// word edges of the presence bitmap (ids 0, 63, 64) and capacity-1
+// eviction pressure.
+func FuzzBitmapCache(f *testing.F) {
+	f.Add(uint8(4), uint8(200), []byte{3, 0, 3, 63, 3, 64, 0, 63, 5, 0, 7, 7})
+	f.Add(uint8(1), uint8(100), []byte{3, 1, 3, 2, 3, 3, 0, 1, 0, 3})
+	f.Add(uint8(8), uint8(65), []byte{3, 64, 3, 0, 6, 10, 5, 64, 2, 64})
+	f.Add(uint8(16), uint8(255), []byte{3, 254, 3, 0, 3, 127, 3, 128, 0, 254, 7, 0})
+	f.Fuzz(func(t *testing.T, capRaw, itemsRaw uint8, ops []byte) {
+		capacity := int(capRaw%32) + 1
+		items := int(itemsRaw) + 1
+		p := newPair(t, capacity, items)
+		ts := 0.0
+		for i := 0; i+1 < len(ops); i += 2 {
+			ts += 0.5
+			id := int32(int(ops[i+1]) % items)
+			p.step(ops[i], id, ts, int32(ops[i])%7)
+		}
+	})
+}
+
+// TestBitmapBoundaryIDs walks the item-space edges where the presence
+// bitmap's word indexing could slip: first and last bit of a word, the
+// last id of the space, single-word and multi-word spaces.
+func TestBitmapBoundaryIDs(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		items    int
+		ids      []int32
+	}{
+		{"single-word", 4, 64, []int32{0, 1, 62, 63}},
+		{"word-edge", 4, 128, []int32{63, 64, 65, 127}},
+		{"last-id", 3, 1000, []int32{0, 511, 512, 999}},
+		{"tiny-space", 2, 3, []int32{0, 1, 2}},
+		{"capacity-one", 1, 256, []int32{0, 63, 64, 255}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPair(t, tc.capacity, tc.items)
+			ts := 1.0
+			for _, id := range tc.ids {
+				p.ref.Put(id, ts, 1)
+				p.bm.Put(id, ts, 1)
+				p.check()
+				ts++
+			}
+			for _, id := range tc.ids {
+				e1, ok1 := p.ref.Lookup(id)
+				e2, ok2 := p.bm.Lookup(id)
+				if ok1 != ok2 || !sameEntry(e1, e2) {
+					t.Fatalf("Lookup(%d) diverged: ref=%v,%v bm=%v,%v", id, e1, ok1, e2, ok2)
+				}
+				p.check()
+			}
+			for _, id := range tc.ids {
+				if p.ref.Invalidate(id) != p.bm.Invalidate(id) {
+					t.Fatalf("Invalidate(%d) verdicts diverged", id)
+				}
+				p.check()
+			}
+		})
+	}
+}
+
+// TestBitmapReloadMirrorsCache pins the warm-restart transplant path:
+// Reload replaces contents without touching statistics, exactly like the
+// map cache, and both panic on overflow and duplicates.
+func TestBitmapReloadMirrorsCache(t *testing.T) {
+	p := newPair(t, 4, 128)
+	p.ref.Put(5, 1, 1)
+	p.bm.Put(5, 1, 1)
+	p.ref.Lookup(5)
+	p.bm.Lookup(5)
+	p.ref.Lookup(99)
+	p.bm.Lookup(99)
+	entries := []cache.Entry{{ID: 64, TS: 3, Version: 2}, {ID: 63, TS: 2, Version: 1}}
+	p.ref.Reload(entries)
+	p.bm.Reload(entries)
+	p.check()
+	if p.bm.Hits() != 1 || p.bm.Misses() != 1 {
+		t.Fatalf("Reload touched stats: hits=%d misses=%d", p.bm.Hits(), p.bm.Misses())
+	}
+
+	for name, bad := range map[string][]cache.Entry{
+		"overflow":  {{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 5}},
+		"duplicate": {{ID: 7}, {ID: 7}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s reload did not panic", name)
+				}
+			}()
+			NewBitmapCache(4, 128).Reload(bad)
+		}()
+	}
+}
+
+// TestBitmapResetStats mirrors cache.ResetStats: all five counters zero,
+// contents untouched.
+func TestBitmapResetStats(t *testing.T) {
+	p := newPair(t, 2, 64)
+	for id := int32(0); id < 5; id++ {
+		p.ref.Put(id, 1, 1)
+		p.bm.Put(id, 1, 1)
+	}
+	p.ref.Lookup(4)
+	p.bm.Lookup(4)
+	p.ref.Lookup(60)
+	p.bm.Lookup(60)
+	p.ref.Invalidate(4)
+	p.bm.Invalidate(4)
+	p.ref.DropAll()
+	p.bm.DropAll()
+	p.ref.ResetStats()
+	p.bm.ResetStats()
+	p.check()
+	if p.bm.Evictions() != 0 || p.bm.Invalidations() != 0 || p.bm.Drops() != 0 {
+		t.Fatal("ResetStats left churn counters nonzero")
+	}
+}
+
+// TestBitmapArenaIsolation pins the shared-arena construction: caches
+// carved from one arena must never bleed into a neighbour's slots, even
+// at full capacity churn on both sides of the carve boundary.
+func TestBitmapArenaIsolation(t *testing.T) {
+	const n, capacity, items = 3, 4, 128
+	words := BitmapWords(items)
+	bits := make([]uint64, words*n)
+	slots := make([]bslot, capacity*n)
+	free := make([]int32, capacity*n)
+	var caches [n]BitmapCache
+	for i := 0; i < n; i++ {
+		caches[i].Init(capacity, items,
+			bits[i*words:(i+1)*words],
+			slots[i*capacity:(i+1)*capacity],
+			free[i*capacity:i*capacity:(i+1)*capacity])
+	}
+	// Churn every cache past capacity with distinct id streams.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < 2*capacity; j++ {
+				caches[i].Put(int32((i*40+j+round)%items), float64(j), int32(i))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if caches[i].Len() != capacity {
+			t.Fatalf("cache %d len %d, want %d", i, caches[i].Len(), capacity)
+		}
+		caches[i].Each(func(e cache.Entry) bool {
+			if e.Version != int32(i) {
+				t.Fatalf("cache %d holds neighbour entry %+v", i, e)
+			}
+			return true
+		})
+		caches[i].DropAll()
+		if caches[i].Len() != 0 {
+			t.Fatalf("cache %d not empty after DropAll", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package population
+
+// Timeline-metrics wrappers. The shared client.Metrics instance exposes
+// its instruments as exported fields but its convenience hooks are
+// unexported, so the population carries its own: each guards the nil
+// registry case and then drives the same instrument the proc client
+// would, keeping timeline CSVs identical between the two paths. The
+// instrument methods themselves are nil-receiver-safe, so only the
+// Metrics pointer needs guarding.
+
+func (p *Population) mQueryDone(resp float64) {
+	if m := p.cfg.Metrics; m != nil {
+		m.Queries.Inc()
+		m.Resp.Observe(resp)
+	}
+}
+
+func (p *Population) mDeadlineMiss() {
+	if m := p.cfg.Metrics; m != nil {
+		m.DeadlineMisses.Inc()
+	}
+}
+
+func (p *Population) mQueryShed() {
+	if m := p.cfg.Metrics; m != nil {
+		m.QueriesShed.Inc()
+	}
+}
+
+func (p *Population) mRetry() {
+	if m := p.cfg.Metrics; m != nil {
+		m.Retries.Inc()
+	}
+}
+
+func (p *Population) mReportLost() {
+	if m := p.cfg.Metrics; m != nil {
+		m.ReportsLost.Inc()
+	}
+}
+
+func (p *Population) mReportCorrupted() {
+	if m := p.cfg.Metrics; m != nil {
+		m.ReportsCorrupted.Inc()
+	}
+}
+
+func (p *Population) mEpochDegrade() {
+	if m := p.cfg.Metrics; m != nil {
+		m.EpochDegrades.Inc()
+	}
+}
+
+func (p *Population) mDisconnected() {
+	if m := p.cfg.Metrics; m != nil {
+		m.Disconnects.Inc()
+	}
+}
+
+func (p *Population) mSalvage() {
+	if m := p.cfg.Metrics; m != nil {
+		m.Salvages.Inc()
+	}
+}
+
+func (p *Population) mDropAll() {
+	if m := p.cfg.Metrics; m != nil {
+		m.Drops.Inc()
+	}
+}
+
+func (p *Population) mIRGap() {
+	if m := p.cfg.Metrics; m != nil {
+		m.IRGaps.Inc()
+	}
+}
+
+func (p *Population) mIRDuplicate() {
+	if m := p.cfg.Metrics; m != nil {
+		m.IRDuplicates.Inc()
+	}
+}
+
+func (p *Population) mIRReorder() {
+	if m := p.cfg.Metrics; m != nil {
+		m.IRReorders.Inc()
+	}
+}
+
+func (p *Population) mAoI(age float64) {
+	if m := p.cfg.Metrics; m != nil {
+		m.AoI.Observe(age)
+	}
+}
+
+func (p *Population) mStormDisconnect() {
+	if m := p.cfg.Metrics; m != nil {
+		m.StormDisconnects.Inc()
+	}
+}
+
+func (p *Population) mClientCrash() {
+	if m := p.cfg.Metrics; m != nil {
+		m.ClientCrashes.Inc()
+	}
+}
+
+func (p *Population) mRestartWarm() {
+	if m := p.cfg.Metrics; m != nil {
+		m.RestartsWarm.Inc()
+	}
+}
+
+func (p *Population) mRestartCold() {
+	if m := p.cfg.Metrics; m != nil {
+		m.RestartsCold.Inc()
+	}
+}
+
+func (p *Population) mSnapshotReject() {
+	if m := p.cfg.Metrics; m != nil {
+		m.SnapshotRejects.Inc()
+	}
+}

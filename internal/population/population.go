@@ -1,0 +1,852 @@
+package population
+
+import (
+	"math"
+
+	"mobicache/internal/bitio"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/delivery"
+	"mobicache/internal/faults"
+	"mobicache/internal/netsim"
+	"mobicache/internal/report"
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+	"mobicache/internal/stats"
+	"mobicache/internal/trace"
+	"mobicache/internal/workload"
+)
+
+// Config carries the population-wide client parameters — the aggregate
+// counterpart of client.Config, minus the per-client fields (ID, RNG
+// stream, clock) the population derives itself. Field semantics are
+// identical to client.Config; see that type for the full contracts.
+type Config struct {
+	// Clients is the population size; client ids are 0..Clients-1, their
+	// index in every flat slice.
+	Clients int
+	// Side is the scheme's client half, shared by the whole population.
+	Side core.ClientSide
+	// Params are the shared protocol constants.
+	Params core.Params
+	// CacheCapacity is the per-client buffer pool size in items.
+	CacheCapacity int
+	// QueryAccess picks queried items; QueryItems their count.
+	QueryAccess workload.Access
+	QueryItems  rng.IntDist
+	// MeanThink, ProbDisc, MeanDisc and DiscPerInterval model the
+	// inter-query gap exactly as in client.Config.
+	MeanThink       float64
+	ProbDisc        float64
+	MeanDisc        float64
+	DiscPerInterval bool
+	// FetchRequestBits is the uplink cost of a data request.
+	FetchRequestBits float64
+	// ConsistencyHook, RespHist, AoIHist, Tracer and Metrics are the
+	// engine's shared observability taps (all optional).
+	ConsistencyHook func(clientID, itemID, version int32, tlb float64)
+	RespHist        *stats.Histogram
+	AoIHist         *stats.Histogram
+	Tracer          *trace.Tracer
+	Metrics         *client.Metrics
+	// ReportLossProb, DownLoss and Retry configure the fault layer;
+	// QueryDeadline the overload layer; FenceSeq and SkewEpsilon the
+	// delivery layer's sequence fence. All exactly as in client.Config.
+	ReportLossProb float64
+	DownLoss       faults.GEParams
+	Retry          faults.RetryPolicy
+	QueryDeadline  float64
+	FenceSeq       bool
+	SkewEpsilon    float64
+}
+
+// Lifecycle continuations: where a client's state machine resumes when
+// its next wake event fires. Each value is one suspension point of the
+// process client's run/gap/disconnect/answer call tree (see
+// internal/client); the transliteration is line-for-line so the two
+// populations schedule identical kernel events.
+const (
+	pcGapStart         uint8 = iota // top of the run loop: draw the inter-query gap
+	pcAfterGap                      // gap over: wait online, then issue the next query
+	pcIntervalLoop                  // per-interval think model: top of the boundary loop
+	pcIntervalBoundary              // woke at a broadcast boundary: disconnection coin
+	pcDiscWake                      // disconnection nap over: wait online, reconnect
+	pcValidated                     // answer: waiting for Tlb to pass the query instant
+	pcFetchDone                     // answer: waiting for the fetch generation to drain
+)
+
+// Park targets: which signal (in the process client's terms) the client
+// is waiting on. A client waits on at most one of its own signals at a
+// time, so the proc path's waiter lists degenerate to one enum per
+// client; a broadcast on signal s wakes client i exactly when
+// parked[i] == s, scheduling the same zero-delay event Signal.Broadcast
+// would.
+const (
+	parkNone      uint8 = iota
+	parkValidated       // client.validated: a report validated the cache
+	parkFetch           // client.fetchSig: the fetch generation drained
+	parkOnline          // client.onlineSig: the forced-offline hold cleared
+)
+
+// Counters are one client's measurement tallies — the aggregate layout
+// of the exported counter fields of client.Client, one struct per client
+// in a flat slice. TestPopulationResetStatsZeroesEveryCounter walks this
+// struct by reflection so a counter added here without warmup-reset
+// handling fails the build's test tier.
+type Counters struct {
+	QueriesIssued        int64
+	QueriesAnswered      int64
+	QueriesTimedOut      int64
+	QueriesShed          int64
+	BusyHeard            int64
+	ItemsRequested       int64
+	ItemsFromCache       int64
+	RespTime             stats.Tally
+	Disconnections       int64
+	SoloDisconnects      int64
+	StormDisconnects     int64
+	Crashes              int64
+	RestartsWarm         int64
+	RestartsCold         int64
+	SnapshotRejects      int64
+	OfflineDrops         int64
+	DisconnectedFor      float64
+	ReportsHeard         int64
+	ReportsLost          int64
+	ReportsCorrupted     int64
+	Retries              int64
+	EpochDegrades        int64
+	IRGaps               int64
+	IRDuplicates         int64
+	IRReorders           int64
+	SkewDegrades         int64
+	ValidationUplinkBits float64
+	ValidationUplinkMsgs int64
+	FetchUplinkBits      float64
+	StaleValidityDropped int64
+	AoISamples           int64
+	AoISum               float64
+}
+
+// Population is the aggregate client population: every per-client field
+// of client.Client turned into a flat slice indexed by client id, caches
+// packed as versioned bitmaps over the item space, and the process
+// lifecycle replaced by the continuation machine in step. One broadcast
+// tick wakes the whole cell as a batch: the server's fan-out calls each
+// handle's DeliverReport inside the single downlink-completion event, so
+// report application for a million clients is one cache-friendly sweep
+// over the arrays with no goroutine switches at all.
+type Population struct {
+	k      *sim.Kernel
+	up     *netsim.Channel
+	server client.ServerAPI
+	cfg    Config
+
+	states  []core.ClientState
+	caches  []BitmapCache
+	srcs    []rng.Source
+	handles []Handle
+	counts  []Counters
+
+	// Lifecycle machine.
+	phase   []uint8
+	parked  []uint8
+	retDisc []uint8 // continuation a finished disconnect returns to
+
+	connected    []bool
+	offlineStorm []bool
+	offlineCrash []bool
+	queryOpen    []bool
+	expired      []bool
+
+	remaining []float64 // per-interval think model: time left to think
+	tq        []float64 // open query's arrival instant
+
+	pending   []int32
+	ctrlTries []int32
+	fetchSeq  []int64
+	deadline  []sim.Handle
+
+	clocks []delivery.Clock
+	ge     []*faults.GE
+
+	queryIDs  [][]int32
+	missIDs   [][]int32
+	fetchIDs  [][]int32
+	fetchWant []map[int32]bool
+
+	// Cached per-client closures: the wake (the analog of Proc.wake —
+	// every Hold and broadcast schedules it) and the query-deadline
+	// event, both built once at construction so the steady state
+	// allocates neither.
+	wakes       []func()
+	deadlineFns []func()
+}
+
+// New builds the population: states, caches (three shared arenas), RNG
+// substreams and cached closures. Client i's stream is root.Split(1000+i)
+// — the same per-client substream contract the process engine uses, and
+// rng.Source.Split is non-mutating, so construction consumes no
+// randomness and the substreams are a pure function of the root seed.
+// Call SetClock (optional), then Attach the handles and StartClient each
+// client in id order, mirroring the process path's construction loop.
+func New(k *sim.Kernel, up *netsim.Channel, server client.ServerAPI, cfg Config, root *rng.Source) *Population {
+	n := cfg.Clients
+	p := &Population{
+		k: k, up: up, server: server, cfg: cfg,
+		states:       make([]core.ClientState, n),
+		caches:       make([]BitmapCache, n),
+		srcs:         make([]rng.Source, n),
+		handles:      make([]Handle, n),
+		counts:       make([]Counters, n),
+		phase:        make([]uint8, n),
+		parked:       make([]uint8, n),
+		retDisc:      make([]uint8, n),
+		connected:    make([]bool, n),
+		offlineStorm: make([]bool, n),
+		offlineCrash: make([]bool, n),
+		queryOpen:    make([]bool, n),
+		expired:      make([]bool, n),
+		remaining:    make([]float64, n),
+		tq:           make([]float64, n),
+		pending:      make([]int32, n),
+		ctrlTries:    make([]int32, n),
+		fetchSeq:     make([]int64, n),
+		deadline:     make([]sim.Handle, n),
+		clocks:       make([]delivery.Clock, n),
+		ge:           make([]*faults.GE, n),
+		queryIDs:     make([][]int32, n),
+		missIDs:      make([][]int32, n),
+		fetchIDs:     make([][]int32, n),
+		fetchWant:    make([]map[int32]bool, n),
+		wakes:        make([]func(), n),
+		deadlineFns:  make([]func(), n),
+	}
+	// One loss path, exactly as in client.New: the legacy Bernoulli knob
+	// is the degenerate single-state Gilbert–Elliott chain.
+	dl := cfg.DownLoss
+	if !dl.Enabled() {
+		dl = faults.Bernoulli(cfg.ReportLossProb)
+	}
+	// The three cache arenas: presence bitmaps, slots, free stacks. Every
+	// client's cache is a view; a million caches cost three allocations.
+	words := BitmapWords(cfg.Params.N)
+	cap := cfg.CacheCapacity
+	bitArena := make([]uint64, words*n)
+	slotArena := make([]bslot, cap*n)
+	freeArena := make([]int32, cap*n)
+	for i := 0; i < n; i++ {
+		c := &p.caches[i]
+		c.Init(cap, cfg.Params.N,
+			bitArena[i*words:(i+1)*words],
+			slotArena[i*cap:(i+1)*cap],
+			// Three-index slice: the free stack must never grow past its
+			// carve-out into the neighbour's.
+			freeArena[i*cap:i*cap:(i+1)*cap])
+		p.states[i] = core.ClientState{ID: int32(i), Cache: c}
+		p.srcs[i] = *root.Split(1000 + uint64(i))
+		p.ge[i] = faults.NewGE(dl, &p.srcs[i])
+		p.handles[i] = Handle{p: p, i: int32(i)}
+		p.connected[i] = true
+		p.phase[i] = pcGapStart
+		i := int32(i)
+		p.wakes[i] = func() { p.step(i) }
+		p.deadlineFns[i] = func() { p.deadlineFired(i) }
+	}
+	return p
+}
+
+// Handle returns client i's receiver/host facade for server.Attach and
+// churn.Adversary.Attach.
+func (p *Population) Handle(i int) *Handle { return &p.handles[i] }
+
+// SetClock installs client i's injected clock-error model (delivery
+// layer); the engine draws clocks in id order so assignments stay a pure
+// function of the seed.
+func (p *Population) SetClock(i int, clk delivery.Clock) { p.clocks[i] = clk }
+
+// StartClient schedules client i's first lifecycle step at the current
+// time — the aggregate analog of client.Start's process launch, costing
+// the same single kernel event.
+func (p *Population) StartClient(i int) {
+	p.k.Schedule(0, p.wakes[i])
+}
+
+// hold suspends client i for d simulated seconds, resuming at cont — the
+// analog of Proc.Hold: one scheduled event on the cached wake closure.
+//
+//hot — every think/nap timestep of every client; nothing allocates.
+func (p *Population) hold(i int32, d float64, cont uint8) {
+	p.phase[i] = cont
+	p.k.Schedule(d, p.wakes[i])
+}
+
+// park suspends client i on the given signal, resuming at cont when a
+// broadcast arrives — the analog of Proc.Wait, which appends to a waiter
+// list and schedules nothing.
+//
+//hot — no events, no allocation; the wake comes from wakeIfParked.
+func (p *Population) park(i int32, sig, cont uint8) {
+	p.parked[i] = sig
+	p.phase[i] = cont
+}
+
+// wakeIfParked is Signal.Broadcast collapsed to the single-waiter case:
+// only client i's own process ever waits on its validated/fetch/online
+// signals, so a broadcast wakes i exactly when it is parked on that
+// signal, as one zero-delay event — the same event the proc path's
+// Broadcast schedules, in the same order.
+//
+//hot — at most one freelist-backed kernel event; nothing allocates.
+func (p *Population) wakeIfParked(i int32, sig uint8) {
+	if p.parked[i] == sig {
+		p.parked[i] = parkNone
+		p.k.Schedule(0, p.wakes[i])
+	}
+}
+
+// offline reports whether the churn layer currently holds client i down.
+func (p *Population) offline(i int32) bool { return p.offlineStorm[i] || p.offlineCrash[i] }
+
+// step dispatches client i's continuation — the body of every wake
+// event. Each case resumes exactly where the process client would after
+// the corresponding Hold or Wait returned.
+func (p *Population) step(i int32) {
+	switch p.phase[i] {
+	case pcGapStart:
+		p.gapStart(i)
+	case pcAfterGap:
+		p.afterGap(i)
+	case pcIntervalLoop:
+		p.intervalLoop(i)
+	case pcIntervalBoundary:
+		p.intervalBoundary(i)
+	case pcDiscWake:
+		p.discWake(i)
+	case pcValidated:
+		p.validatedCheck(i)
+	case pcFetchDone:
+		p.fetchDoneCheck(i)
+	default:
+		panic("population: unknown continuation")
+	}
+}
+
+// gapStart is the top of the run loop: client.gap. Draw order matches
+// the process client exactly — the disconnection coin (or the
+// per-interval think draw) comes first, then the chosen duration.
+func (p *Population) gapStart(i int32) {
+	if p.cfg.DiscPerInterval {
+		p.remaining[i] = p.srcs[i].Exp(p.cfg.MeanThink)
+		p.intervalLoop(i)
+		return
+	}
+	if p.srcs[i].Bool(p.cfg.ProbDisc) {
+		p.disconnect(i, pcAfterGap)
+		return
+	}
+	p.hold(i, p.srcs[i].Exp(p.cfg.MeanThink), pcAfterGap)
+}
+
+// intervalLoop is client.thinkPerInterval's boundary loop. remaining is
+// decremented before the hold rather than after it returns — the value
+// is unobservable in between, so the draw sequence is unchanged.
+func (p *Population) intervalLoop(i int32) {
+	if p.remaining[i] <= 0 {
+		p.afterGap(i)
+		return
+	}
+	now := p.k.Now()
+	L := p.cfg.Params.L
+	next := (math.Floor(now/L) + 1) * L
+	step := next - now
+	if p.remaining[i] < step {
+		p.hold(i, p.remaining[i], pcAfterGap)
+		return
+	}
+	p.remaining[i] -= step
+	p.hold(i, step, pcIntervalBoundary)
+}
+
+// intervalBoundary is the disconnection coin at a crossed broadcast
+// boundary.
+func (p *Population) intervalBoundary(i int32) {
+	if p.srcs[i].Bool(p.cfg.ProbDisc) {
+		p.disconnect(i, pcIntervalLoop)
+		return
+	}
+	p.intervalLoop(i)
+}
+
+// disconnect is client.disconnect up to its Hold; ret names where the
+// reconnection path hands control back (the two call sites of the
+// process client's disconnect).
+func (p *Population) disconnect(i int32, ret uint8) {
+	p.connected[i] = false
+	p.states[i].AbandonPending()
+	d := p.srcs[i].Exp(p.cfg.MeanDisc)
+	p.mDisconnected()
+	p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.Disconnect,
+		Client: p.states[i].ID, B: int64(d * 1e6)})
+	cnt := &p.counts[i]
+	cnt.Disconnections++
+	cnt.SoloDisconnects++
+	cnt.DisconnectedFor += d
+	p.retDisc[i] = ret
+	p.hold(i, d, pcDiscWake)
+}
+
+// discWake resumes after the voluntary nap: the waitOnline loop, then
+// the reconnection (fence reset, connected flag, trace), then the return
+// to the disconnect call site. The aggregate engine runs one cell, so
+// there is no OnWake mobility hook here — multi-cell coordination stays
+// on the process path.
+func (p *Population) discWake(i int32) {
+	if p.offline(i) {
+		p.park(i, parkOnline, pcDiscWake)
+		return
+	}
+	p.states[i].ResetSeqFence()
+	p.connected[i] = true
+	p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.Reconnect,
+		Client: p.states[i].ID})
+	if p.retDisc[i] == pcIntervalLoop {
+		p.intervalLoop(i)
+		return
+	}
+	p.afterGap(i)
+}
+
+// afterGap is the run loop between gap and answer: the waitOnline guard,
+// then the query issue (draw count, sample ids, trace) and the head of
+// client.answer (open the query, arm the deadline), then the validation
+// wait.
+func (p *Population) afterGap(i int32) {
+	if p.offline(i) {
+		p.park(i, parkOnline, pcAfterGap)
+		return
+	}
+	tq := p.k.Now()
+	p.tq[i] = tq
+	kq := p.cfg.QueryItems.Draw(&p.srcs[i])
+	p.queryIDs[i] = p.cfg.QueryAccess.Sample(&p.srcs[i], kq, p.queryIDs[i][:0])
+	p.cfg.Tracer.Record(trace.Event{T: tq, Kind: trace.QueryStart,
+		Client: p.states[i].ID, B: int64(len(p.queryIDs[i]))})
+	p.queryOpen[i] = true
+	p.counts[i].QueriesIssued++
+	p.expired[i] = false
+	if p.cfg.QueryDeadline > 0 {
+		p.deadline[i] = p.k.Schedule(p.cfg.QueryDeadline, p.deadlineFns[i])
+	}
+	p.validatedCheck(i)
+}
+
+// deadlineFired is the query-deadline event: mark the query expired and
+// broadcast both answer-path signals, exactly as the process client's
+// deadline closure does — at most one of them holds the waiter, so at
+// most one wake event results.
+func (p *Population) deadlineFired(i int32) {
+	p.expired[i] = true
+	p.wakeIfParked(i, parkValidated)
+	p.wakeIfParked(i, parkFetch)
+}
+
+// validatedCheck is answer's validation wait: loop on Wait(validated)
+// while the cache is not validated past the query instant and the
+// deadline has not expired, with the expired verdict taking precedence
+// once the loop exits.
+func (p *Population) validatedCheck(i int32) {
+	if p.states[i].Tlb <= p.tq[i] && !p.expired[i] {
+		p.park(i, parkValidated, pcValidated)
+		return
+	}
+	if p.expired[i] {
+		p.giveUp(i, true)
+		return
+	}
+	p.serveQuery(i)
+}
+
+// serveQuery is answer's post-validation body: serve hits from the
+// cache, account AoI and consistency, and launch the fetch generation
+// for the misses.
+func (p *Population) serveQuery(i int32) {
+	st := &p.states[i]
+	cnt := &p.counts[i]
+	now := p.k.Now()
+	miss := p.missIDs[i][:0]
+	for _, id := range p.queryIDs[i] {
+		if e, ok := st.Cache.Lookup(id); ok {
+			cnt.ItemsFromCache++
+			if p.cfg.ConsistencyHook != nil {
+				p.cfg.ConsistencyHook(st.ID, id, e.Version, st.Tlb)
+			}
+			p.observeAoI(i, now-e.TS, e.Version)
+		} else {
+			miss = append(miss, id)
+		}
+	}
+	p.missIDs[i] = miss
+	cnt.ItemsRequested += int64(len(miss))
+	p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.QueryValidated,
+		Client: st.ID, A: int64(len(p.queryIDs[i]) - len(miss)),
+		B: int64(len(miss))})
+	if len(miss) > 0 {
+		p.pending[i] = int32(len(miss))
+		p.fetchSeq[i]++
+		p.fetchIDs[i] = append(p.fetchIDs[i][:0], miss...)
+		if p.cfg.Retry.Enabled() {
+			if p.fetchWant[i] == nil {
+				p.fetchWant[i] = make(map[int32]bool, len(p.fetchIDs[i]))
+			}
+			for _, id := range p.fetchIDs[i] {
+				p.fetchWant[i][id] = true
+			}
+		}
+		if !p.sendFetch(i, 0) && !p.cfg.Retry.Enabled() {
+			// The bounded uplink tail-dropped the only fetch request this
+			// query will ever send: give up now rather than burn the
+			// deadline waiting for nothing.
+			p.k.Cancel(p.deadline[i])
+			p.abandonFetch(i)
+			cnt.QueriesShed++
+			p.queryOpen[i] = false
+			p.mQueryShed()
+			p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.QueryShed,
+				Client: st.ID, B: int64(len(miss))})
+			p.gapStart(i)
+			return
+		}
+		p.fetchDoneCheck(i)
+		return
+	}
+	p.finishQuery(i)
+}
+
+// fetchDoneCheck is answer's fetch wait: loop on Wait(fetchSig) while
+// items are outstanding and the deadline has not expired; an exhausted
+// deadline with items still pending abandons the query.
+func (p *Population) fetchDoneCheck(i int32) {
+	if p.pending[i] > 0 && !p.expired[i] {
+		p.park(i, parkFetch, pcFetchDone)
+		return
+	}
+	if p.pending[i] > 0 {
+		p.giveUp(i, false)
+		return
+	}
+	p.finishQuery(i)
+}
+
+// finishQuery is answer's completion tail, then the jump back to the top
+// of the run loop.
+func (p *Population) finishQuery(i int32) {
+	cnt := &p.counts[i]
+	p.k.Cancel(p.deadline[i])
+	p.queryOpen[i] = false
+	cnt.QueriesAnswered++
+	resp := p.k.Now() - p.tq[i]
+	cnt.RespTime.Observe(resp)
+	p.mQueryDone(resp)
+	if p.cfg.RespHist != nil {
+		p.cfg.RespHist.Observe(resp)
+	}
+	p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.QueryDone,
+		Client: p.states[i].ID, B: int64(resp * 1e6)})
+	p.gapStart(i)
+}
+
+// giveUp abandons the open query after its deadline expired
+// (client.giveUp), then returns to the top of the run loop.
+func (p *Population) giveUp(i int32, validating bool) {
+	if validating {
+		p.states[i].AbandonPending()
+	}
+	p.abandonFetch(i)
+	cnt := &p.counts[i]
+	cnt.QueriesTimedOut++
+	p.queryOpen[i] = false
+	p.mDeadlineMiss()
+	p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.QueryDeadline,
+		Client: p.states[i].ID, B: int64((p.k.Now() - p.tq[i]) * 1e6)})
+	p.gapStart(i)
+}
+
+// abandonFetch cancels the outstanding fetch generation (client
+// semantics: stale retry timers and late deliveries no-op).
+func (p *Population) abandonFetch(i int32) {
+	p.fetchSeq[i]++
+	p.pending[i] = 0
+	clear(p.fetchWant[i])
+}
+
+// sendFetch transmits a data request for the current fetch's missing
+// items and, in retry mode, arms the backed-off re-request timer —
+// client.sendFetch verbatim, including the fresh ids slice (the server's
+// coalescing path may retain it past this event) and the fresh timer
+// closure capturing the fetch generation.
+func (p *Population) sendFetch(i int32, attempt int) bool {
+	admitted := false
+	if !p.offline(i) {
+		ids := make([]int32, 0, len(p.fetchIDs[i]))
+		for _, id := range p.fetchIDs[i] {
+			if attempt == 0 || p.fetchWant[i][id] {
+				ids = append(ids, id)
+			}
+		}
+		var onTx func(sim.Time)
+		if p.cfg.Tracer.Enabled(trace.UplinkTxStart) {
+			onTx = func(t sim.Time) {
+				p.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
+					Client: p.states[i].ID, A: 0})
+			}
+		}
+		admitted = p.up.SendObserved(netsim.ClassData, p.cfg.FetchRequestBits, onTx, func() {
+			p.server.OnFetch(p.states[i].ID, ids, p.k.Now())
+		})
+		if admitted {
+			p.counts[i].FetchUplinkBits += p.cfg.FetchRequestBits
+			p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.FetchSent,
+				Client: p.states[i].ID, A: int64(len(ids)), B: int64(attempt)})
+		}
+	}
+	if !p.cfg.Retry.Enabled() {
+		return admitted
+	}
+	seq := p.fetchSeq[i]
+	p.k.Schedule(p.cfg.Retry.Delay(attempt, &p.srcs[i]), func() {
+		if seq != p.fetchSeq[i] || p.pending[i] == 0 {
+			return // the fetch completed, or a newer one replaced it
+		}
+		p.counts[i].Retries++
+		p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.RetryAttempt,
+			Client: p.states[i].ID, A: 0, B: int64(attempt + 1)})
+		p.sendFetch(i, attempt+1)
+	})
+	return admitted
+}
+
+// scheduleCtrlTimeout arms the give-up timer for a just-sent validation
+// exchange — client.scheduleCtrlTimeout verbatim.
+func (p *Population) scheduleCtrlTimeout(i int32, kindArg int64) {
+	if !p.cfg.Retry.Enabled() {
+		return
+	}
+	st := &p.states[i]
+	seq := st.CheckSeq
+	p.k.Schedule(p.cfg.Retry.Delay(int(p.ctrlTries[i]), &p.srcs[i]), func() {
+		if st.CheckSeq != seq || !p.connected[i] {
+			return // superseded, or already abandoned by a disconnect
+		}
+		if !st.AwaitingValidity && !st.SentTlb {
+			return // the exchange completed in time
+		}
+		p.ctrlTries[i]++
+		p.counts[i].Retries++
+		p.mRetry()
+		p.cfg.Tracer.Record(trace.Event{T: p.k.Now(), Kind: trace.RetryAttempt,
+			Client: st.ID, A: kindArg, B: int64(p.ctrlTries[i])})
+		st.AbandonPending()
+	})
+}
+
+// handleOutcome applies a protocol step's verdict — client.handleOutcome
+// verbatim: uplink the control message (with the feedback-delivery stamp
+// and control timeout), then release the validation wait on Ready.
+func (p *Population) handleOutcome(i int32, out core.Outcome, now sim.Time) {
+	cnt := &p.counts[i]
+	if out.EpochDegrade {
+		cnt.EpochDegrades++
+		p.mEpochDegrade()
+	}
+	if out.DroppedAll {
+		p.mDropAll()
+		p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheDrop,
+			Client: p.states[i].ID})
+	}
+	if out.Send != nil {
+		bits := float64(out.Send.SizeBits(p.cfg.Params.Rep))
+		msg := out.Send
+		isFeedback := msg.Feedback != nil
+		kindArg := int64(0)
+		if isFeedback {
+			kindArg = 1
+		}
+		var onTx func(sim.Time)
+		if p.cfg.Tracer.Enabled(trace.UplinkTxStart) {
+			exch := kindArg + 1 // UplinkTxStart encoding: 1 check, 2 feedback
+			onTx = func(t sim.Time) {
+				p.cfg.Tracer.Record(trace.Event{T: t, Kind: trace.UplinkTxStart,
+					Client: p.states[i].ID, A: exch})
+			}
+		}
+		st := &p.states[i]
+		admitted := p.up.SendObserved(netsim.ClassControl, bits, onTx, func() {
+			if isFeedback {
+				st.FeedbackDeliveredAt = p.k.Now()
+			}
+			p.server.OnControl(msg, p.k.Now())
+		})
+		if admitted {
+			cnt.ValidationUplinkBits += bits
+			cnt.ValidationUplinkMsgs++
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ControlSent,
+				Client: st.ID, A: kindArg, B: int64(bits)})
+		}
+		p.scheduleCtrlTimeout(i, kindArg+1)
+	}
+	if out.Ready {
+		p.ctrlTries[i] = 0
+		p.wakeIfParked(i, parkValidated)
+	}
+}
+
+// observeAoI records one answered item's age-of-information sample —
+// client.observeAoI verbatim.
+func (p *Population) observeAoI(i int32, age float64, version int32) {
+	if version == 0 || p.cfg.AoIHist == nil {
+		return
+	}
+	cnt := &p.counts[i]
+	cnt.AoISamples++
+	cnt.AoISum += age
+	p.cfg.AoIHist.Observe(age)
+	p.mAoI(age)
+}
+
+// fenceAdmit runs the broadcast sequence fence and the stale-by-skew
+// guard over a report that survived the loss model —
+// client.fenceAdmit verbatim.
+func (p *Population) fenceAdmit(i int32, r report.Report, now sim.Time) bool {
+	st := &p.states[i]
+	cnt := &p.counts[i]
+	seq := report.SeqOf(r)
+	if st.HasSeq {
+		switch d := report.SeqDelta(seq, st.LastSeq); {
+		case d == 0:
+			cnt.IRDuplicates++
+			p.mIRDuplicate()
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRDuplicate,
+				Client: st.ID, A: int64(seq)})
+			return false
+		case d < 0:
+			cnt.IRReorders++
+			p.mIRReorder()
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRReorder,
+				Client: st.ID, A: int64(d)})
+			return false
+		case d > 1:
+			cnt.IRGaps++
+			p.mIRGap()
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.IRGap,
+				Client: st.ID, A: int64(d)})
+			st.SeqGap = true
+		}
+	}
+	st.LastSeq = seq
+	st.HasSeq = true
+	if p.cfg.SkewEpsilon > 0 && r.Time() > p.clocks[i].Read(now)+p.cfg.SkewEpsilon {
+		cnt.SkewDegrades++
+		st.SeqGap = true
+	}
+	return true
+}
+
+// deliverReport is the protocol step behind Handle.DeliverReport —
+// client.DeliverReport verbatim: loss model, fence, scheme handler,
+// outcome.
+func (p *Population) deliverReport(i int32, r report.Report, now sim.Time) {
+	if !p.connected[i] || p.offline(i) {
+		return
+	}
+	st := &p.states[i]
+	cnt := &p.counts[i]
+	if g := p.ge[i]; g != nil {
+		switch g.Next() {
+		case faults.Lose:
+			cnt.ReportsLost++
+			p.mReportLost()
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultLoss,
+				Client: st.ID, A: int64(netsim.ClassReport)})
+			return
+		case faults.Corrupt:
+			// Run the real codec over the truncated bitstream so corruption
+			// surfaces as a decode error; a nil error means the codec
+			// accepted a mangled frame.
+			w := bitio.GetWriter()
+			err := report.CorruptDecode(r, p.cfg.Params.Rep, w)
+			bitio.PutWriter(w)
+			if err == nil {
+				panic("population: corrupted report decoded cleanly")
+			}
+			cnt.ReportsCorrupted++
+			p.mReportCorrupted()
+			p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.FaultCorrupt,
+				Client: st.ID, A: int64(netsim.ClassReport)})
+			return
+		}
+	}
+	if p.cfg.FenceSeq && !p.fenceAdmit(i, r, now) {
+		return
+	}
+	cnt.ReportsHeard++
+	salvagesBefore := st.Salvages
+	out := p.cfg.Side.HandleReport(st, r, now)
+	p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ReportDelivered,
+		Client: st.ID, A: int64(r.Kind())})
+	if st.Salvages > salvagesBefore {
+		p.mSalvage()
+		p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.CacheSalvage, Client: st.ID})
+	}
+	p.handleOutcome(i, out, now)
+}
+
+// deliverValidity is client.DeliverValidity verbatim.
+func (p *Population) deliverValidity(i int32, v *report.ValidityReport, now sim.Time) {
+	st := &p.states[i]
+	if !p.connected[i] || p.offline(i) || !st.AwaitingValidity {
+		p.counts[i].StaleValidityDropped++
+		p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValidityDelivered,
+			Client: st.ID, A: 1})
+		return
+	}
+	p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ValidityDelivered,
+		Client: st.ID})
+	p.handleOutcome(i, p.cfg.Side.HandleValidity(st, v, now), now)
+}
+
+// deliverItem is client.DeliverItem verbatim: cache the arrival, count
+// down the want-list in retry mode, and release the fetch wait when the
+// generation drains.
+func (p *Population) deliverItem(i, id, version int32, ts float64, now sim.Time) {
+	if p.offline(i) {
+		p.counts[i].OfflineDrops++
+		return
+	}
+	p.cfg.Tracer.Record(trace.Event{T: now, Kind: trace.ItemDelivered,
+		Client: p.states[i].ID, A: int64(id)})
+	p.states[i].Cache.Put(id, ts, version)
+	if len(p.fetchWant[i]) > 0 {
+		if !p.fetchWant[i][id] {
+			return
+		}
+		delete(p.fetchWant[i], id)
+	}
+	if p.pending[i] > 0 {
+		p.observeAoI(i, now-ts, version)
+		p.pending[i]--
+		if p.pending[i] == 0 {
+			p.wakeIfParked(i, parkFetch)
+		}
+	}
+}
+
+// resumeIfOnline ends a forced-offline episode — client.resumeIfOnline
+// verbatim: fence forgotten, parked lifecycle woken.
+func (p *Population) resumeIfOnline(i int32) {
+	if p.offline(i) {
+		return
+	}
+	p.states[i].ResetSeqFence()
+	p.wakeIfParked(i, parkOnline)
+}

@@ -1,0 +1,139 @@
+package population
+
+import (
+	"reflect"
+	"testing"
+
+	"mobicache/internal/core"
+	"mobicache/internal/netsim"
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+	"mobicache/internal/workload"
+)
+
+type stubServer struct{}
+
+func (stubServer) OnControl(msg *core.ControlMsg, now sim.Time)       {}
+func (stubServer) OnFetch(clientID int32, ids []int32, now sim.Time)  {}
+
+func newTestPopulation(t *testing.T, clients int) (*Population, *sim.Kernel) {
+	t.Helper()
+	k := sim.New()
+	t.Cleanup(k.Shutdown)
+	up := netsim.NewChannel(k, "uplink", 10000)
+	params := core.DefaultParams(100)
+	scheme, err := core.Lookup("ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Uniform(100)
+	return New(k, up, stubServer{}, Config{
+		Clients:       clients,
+		Side:          scheme.NewClient(params),
+		Params:        params,
+		CacheCapacity: 4,
+		QueryAccess:   wl.Query,
+		QueryItems:    wl.QueryItems,
+		MeanThink:     100,
+		MeanDisc:      400,
+		ProbDisc:      0.1,
+	}, rng.New(1)), k
+}
+
+// TestPopulationResetStatsZeroesEveryCounter reflect-guards the
+// aggregate warmup reset, exactly like the proc client's
+// TestResetStatsZeroesEveryCounter: every field of Counters must return
+// to zero on an idle client. A counter added to the struct without
+// warmup handling fails here, not by silently leaking warmup traffic
+// into the measured interval.
+func TestPopulationResetStatsZeroesEveryCounter(t *testing.T) {
+	p, _ := newTestPopulation(t, 3)
+	for i := 0; i < p.Clients(); i++ {
+		v := reflect.ValueOf(p.Count(i)).Elem()
+		ty := v.Type()
+		for j := 0; j < ty.NumField(); j++ {
+			fv := v.Field(j)
+			switch fv.Kind() {
+			case reflect.Int64:
+				fv.SetInt(7)
+			case reflect.Float64:
+				fv.SetFloat(7.5)
+			case reflect.Struct:
+				// stats.Tally: poke its exported numeric fields directly.
+				for s := 0; s < fv.NumField(); s++ {
+					if sf := fv.Field(s); sf.CanSet() && sf.Kind() == reflect.Float64 {
+						sf.SetFloat(7.5)
+					} else if sf.CanSet() && sf.Kind() == reflect.Int64 {
+						sf.SetInt(7)
+					}
+				}
+			default:
+				t.Fatalf("unhandled Counters field %s of kind %v; extend the reset guard",
+					ty.Field(j).Name, fv.Kind())
+			}
+		}
+	}
+	p.ResetStats()
+	for i := 0; i < p.Clients(); i++ {
+		v := reflect.ValueOf(p.Count(i)).Elem()
+		for j := 0; j < v.NumField(); j++ {
+			if !v.Field(j).IsZero() {
+				t.Errorf("client %d: ResetStats left %s = %v on an idle client",
+					i, v.Type().Field(j).Name, v.Field(j))
+			}
+		}
+	}
+}
+
+// TestPopulationResetStatsCarriesInFlight pins the warmup carry-over: an
+// open query stays issued and a straddling crash stays counted, so the
+// measured-interval accounting identities close.
+func TestPopulationResetStatsCarriesInFlight(t *testing.T) {
+	p, _ := newTestPopulation(t, 2)
+	p.queryOpen[0] = true
+	p.offlineCrash[1] = true
+	p.counts[0].QueriesIssued = 5
+	p.counts[1].Crashes = 3
+	p.ResetStats()
+	if got := p.Count(0).QueriesIssued; got != 1 {
+		t.Fatalf("in-flight query not carried: QueriesIssued=%d, want 1", got)
+	}
+	if got := p.Count(1).Crashes; got != 1 {
+		t.Fatalf("straddling crash not carried: Crashes=%d, want 1", got)
+	}
+	if p.InFlight(0) != 1 || p.InFlight(1) != 0 {
+		t.Fatal("InFlight view diverged from queryOpen state")
+	}
+	if !p.CrashedDown(1) || p.CrashedDown(0) {
+		t.Fatal("CrashedDown view diverged from offlineCrash state")
+	}
+}
+
+// TestPopulationCountersMirrorClient guards the layout contract: every
+// exported int64/float64/Tally statistics field of client.Client must
+// exist in Counters under the same name, so the engine's shared
+// collection function cannot silently miss a counter on one path.
+// (Checked from the engine side by clientCounters, which fails to
+// compile on a missing field; this pins the direction population-side.)
+func TestPopulationCountersMirrorClient(t *testing.T) {
+	ty := reflect.TypeOf(Counters{})
+	want := []string{
+		"QueriesIssued", "QueriesAnswered", "QueriesTimedOut", "QueriesShed",
+		"BusyHeard", "ItemsRequested", "ItemsFromCache", "RespTime",
+		"Disconnections", "SoloDisconnects", "StormDisconnects", "Crashes",
+		"RestartsWarm", "RestartsCold", "SnapshotRejects", "OfflineDrops",
+		"DisconnectedFor", "ReportsHeard", "ReportsLost", "ReportsCorrupted",
+		"Retries", "EpochDegrades", "IRGaps", "IRDuplicates", "IRReorders",
+		"SkewDegrades", "ValidationUplinkBits", "ValidationUplinkMsgs",
+		"FetchUplinkBits", "StaleValidityDropped", "AoISamples", "AoISum",
+	}
+	for _, name := range want {
+		if _, ok := ty.FieldByName(name); !ok {
+			t.Errorf("Counters is missing client statistics field %s", name)
+		}
+	}
+	if ty.NumField() != len(want) {
+		t.Errorf("Counters has %d fields, test names %d; keep the mirror list current",
+			ty.NumField(), len(want))
+	}
+}
